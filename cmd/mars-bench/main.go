@@ -1,0 +1,100 @@
+// mars-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mars-bench -exp table1 -trials 24
+//	mars-bench -exp fig9
+//	mars-bench -exp all
+//
+// Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
+// pathid, scale, ablation-sbfl, ablation-fsmlen, ablation-miner, ablation-cause.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mars/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (or 'all')")
+		trials = flag.Int("trials", 8, "trials per fault kind (table1, ablations)")
+		seed   = flag.Int64("seed", 1000, "base random seed")
+	)
+	flag.Parse()
+
+	runners := map[string]func(){
+		"table1": func() {
+			fmt.Print(experiments.RunTable1(*trials, *seed).Render())
+		},
+		"fig2": func() {
+			fmt.Print(experiments.RunFig2(*seed).Render())
+		},
+		"fig3": func() {
+			fmt.Print(experiments.RunFig3().Render())
+		},
+		"fig5": func() {
+			fmt.Print(experiments.RunFig5(*seed).Render())
+		},
+		"fig7": func() {
+			fmt.Print(experiments.RunFig7(*seed).Render())
+		},
+		"fig8": func() {
+			fmt.Print(experiments.RunFig8(*seed, 30, 1200).Render())
+		},
+		"fig9": func() {
+			fmt.Print(experiments.RunFig9(*seed).Render())
+		},
+		"fig10": func() {
+			fmt.Print(experiments.RunFig10().Render())
+		},
+		"fig11": func() {
+			fmt.Print(experiments.RunFig11(*seed, 5000, 5).Render())
+		},
+		"pathid": func() {
+			fmt.Print(experiments.RunPathIDMemory().Render())
+		},
+		"scale": func() {
+			fmt.Print(experiments.RunScale([]int{4, 6, 8}).Render())
+		},
+		"ablation-sbfl": func() {
+			fmt.Print(experiments.RunAblationSBFL(*trials/2+1, *seed).Render())
+		},
+		"ablation-fsmlen": func() {
+			fmt.Print(experiments.RunAblationFSMMaxLen(*trials/2+1, *seed).Render())
+		},
+		"ablation-miner": func() {
+			fmt.Print(experiments.RunAblationMiner(*trials/4+1, *seed).Render())
+		},
+		"ablation-cause": func() {
+			fmt.Print(experiments.RunAblationCauseAccuracy(*trials/2+1, *seed).Render())
+		},
+	}
+	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
+		"fig10", "fig11", "pathid", "scale", "ablation-sbfl", "ablation-fsmlen",
+		"ablation-miner", "ablation-cause"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("=== %s ===\n", name)
+			start := time.Now()
+			runners[name]()
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: all", *exp)
+		for _, name := range order {
+			fmt.Fprintf(os.Stderr, ", %s", name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,3 @@
+module mars
+
+go 1.22

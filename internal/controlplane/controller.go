@@ -1,0 +1,216 @@
+// Package controlplane implements the MARS controller: it periodically
+// pulls the "latency" field of sink-switch Ring Tables (the paper uses the
+// P4Runtime API; here the calls are direct but every exchanged byte is
+// counted), feeds per-flow reservoirs, pushes refreshed dynamic thresholds
+// down to the data plane, and — when a data-plane notification arrives —
+// collects the Ring Tables of all edge switches as diagnosis data for root
+// cause analysis (§4.3, §4.4).
+package controlplane
+
+import (
+	"math/rand"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/reservoir"
+	"mars/internal/topology"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// RefreshPeriod is how often reservoirs are fed and thresholds pushed.
+	RefreshPeriod netsim.Time
+	// ResponseWindow rate-limits diagnosis collections: the control plane
+	// responds to at most one notification per window (§4.4).
+	ResponseWindow netsim.Time
+	// Reservoir configures the per-flow latency reservoirs.
+	Reservoir reservoir.Config
+	// Seed drives reservoir replacement randomness.
+	Seed int64
+}
+
+// DefaultConfig matches the data plane's 100 ms epochs: thresholds refresh
+// every 200 ms, diagnosis at most once per 500 ms. The deviation multiple
+// is raised to 6 MAD units (~4σ-equivalent for Gaussian noise): multi-hop
+// latency under Poisson cross-traffic is heavy-tailed, and a 3-MAD
+// threshold flags a few percent of healthy telemetry records.
+func DefaultConfig() Config {
+	rc := reservoir.DefaultConfig()
+	rc.C = 6
+	return Config{
+		RefreshPeriod:  200 * netsim.Millisecond,
+		ResponseWindow: 500 * netsim.Millisecond,
+		Reservoir:      rc,
+		Seed:           1,
+	}
+}
+
+// Diagnosis is one on-demand collection: the trigger plus the telemetry
+// snapshot pulled from every edge switch.
+type Diagnosis struct {
+	Trigger dataplane.Notification
+	Records []dataplane.RTRecord
+	Time    netsim.Time
+}
+
+// BandwidthStats counts every control-channel byte for the Fig. 9 study.
+type BandwidthStats struct {
+	// NotificationBytes: data plane -> control plane triggers.
+	NotificationBytes int64
+	// CollectionBytes: Ring Table pulls (diagnosis data).
+	CollectionBytes int64
+	// RefreshBytes: periodic latency pulls for reservoir upkeep.
+	RefreshBytes int64
+	// ThresholdPushBytes: control plane -> data plane threshold updates.
+	ThresholdPushBytes int64
+	// Diagnoses counts completed collections.
+	Diagnoses int64
+}
+
+// DiagnosisBytes returns the on-demand (trigger + collection) total, the
+// "Diagnosis" bar of Fig. 9.
+func (b BandwidthStats) DiagnosisBytes() int64 {
+	return b.NotificationBytes + b.CollectionBytes
+}
+
+// Controller is the MARS control plane.
+type Controller struct {
+	Cfg   Config
+	Prog  *dataplane.Program
+	Topo  *topology.Topology
+	Bytes BandwidthStats
+
+	// OnDiagnosis receives each collected diagnosis (the RCA entry point).
+	OnDiagnosis func(d Diagnosis)
+
+	sim        *netsim.Simulator
+	rng        *rand.Rand
+	reservoirs map[dataplane.FlowID]*reservoir.Reservoir
+	// lastSeen tracks, per sink switch, the arrival time of the newest RT
+	// record already fed to reservoirs.
+	lastSeen      map[topology.NodeID]netsim.Time
+	lastDiagnosis netsim.Time
+	haveDiagnosed bool
+	edgeSwitches  []topology.NodeID
+	started       bool
+}
+
+// New wires a controller to a simulator and data-plane program. Call
+// Start to begin the refresh loop, and pass the controller to the program
+// as its Notifier.
+func New(cfg Config, sim *netsim.Simulator, prog *dataplane.Program) *Controller {
+	c := &Controller{
+		Cfg:        cfg,
+		Prog:       prog,
+		Topo:       prog.Topo,
+		sim:        sim,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		reservoirs: make(map[dataplane.FlowID]*reservoir.Reservoir),
+		lastSeen:   make(map[topology.NodeID]netsim.Time),
+	}
+	for _, sw := range c.Topo.Switches() {
+		for _, p := range c.Topo.Node(sw).Ports {
+			if c.Topo.IsHost(p.Peer) {
+				c.edgeSwitches = append(c.edgeSwitches, sw)
+				break
+			}
+		}
+	}
+	return c
+}
+
+// EdgeSwitches returns the switches with attached hosts (telemetry sinks).
+func (c *Controller) EdgeSwitches() []topology.NodeID { return c.edgeSwitches }
+
+// Start schedules the periodic reservoir/threshold refresh loop.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	var tick func()
+	tick = func() {
+		c.Refresh()
+		c.sim.After(c.Cfg.RefreshPeriod, tick)
+	}
+	c.sim.After(c.Cfg.RefreshPeriod, tick)
+}
+
+// ReservoirFor returns (creating if needed) the flow's reservoir.
+func (c *Controller) ReservoirFor(flow dataplane.FlowID) *reservoir.Reservoir {
+	r := c.reservoirs[flow]
+	if r == nil {
+		r = reservoir.New(c.Cfg.Reservoir, c.rng)
+		c.reservoirs[flow] = r
+	}
+	return r
+}
+
+// ThresholdOf returns the dynamic threshold currently derived for flow.
+func (c *Controller) ThresholdOf(flow dataplane.FlowID) netsim.Time {
+	return netsim.Time(c.ReservoirFor(flow).Threshold())
+}
+
+// Refresh pulls new RT latencies from every sink, feeds the reservoirs,
+// and pushes updated thresholds to the data plane (one push per flow, to
+// every switch, as the program's threshold tables are per switch).
+func (c *Controller) Refresh() {
+	updated := make(map[dataplane.FlowID]bool)
+	for _, sw := range c.edgeSwitches {
+		recs := c.Prog.RTSnapshot(sw)
+		last := c.lastSeen[sw]
+		newest := last
+		for _, r := range recs {
+			if r.Arrival <= last {
+				continue
+			}
+			if r.Arrival > newest {
+				newest = r.Arrival
+			}
+			// Pulling one latency field costs a few bytes on the control
+			// channel (the paper compresses timestamps; 8 B is generous).
+			c.Bytes.RefreshBytes += 8
+			c.ReservoirFor(r.Flow).Input(float64(r.Latency))
+			updated[r.Flow] = true
+		}
+		c.lastSeen[sw] = newest
+	}
+	numSwitches := int64(c.Topo.NumSwitches())
+	for flow := range updated {
+		th := c.ThresholdOf(flow)
+		c.Prog.SetThresholdAll(flow, th)
+		c.Bytes.ThresholdPushBytes += numSwitches * dataplane.ThresholdPushBytes
+	}
+}
+
+// Notify implements dataplane.Notifier: it accounts the trigger and, if
+// outside the response window, schedules an immediate diagnosis
+// collection.
+func (c *Controller) Notify(n dataplane.Notification) {
+	c.Bytes.NotificationBytes += dataplane.NotificationBytes
+	now := c.sim.Now()
+	if c.haveDiagnosed && now-c.lastDiagnosis < c.Cfg.ResponseWindow {
+		return
+	}
+	c.haveDiagnosed = true
+	c.lastDiagnosis = now
+	c.collect(n)
+}
+
+// collect pulls diagnosis data from every edge switch's Ring Table. Only
+// edge switches are contacted — MARS's Motivation #1 — so core switches
+// carry no collection load.
+func (c *Controller) collect(trigger dataplane.Notification) {
+	var all []dataplane.RTRecord
+	for _, sw := range c.edgeSwitches {
+		recs := c.Prog.RTSnapshot(sw)
+		c.Bytes.CollectionBytes += int64(len(recs)) * dataplane.RTRecordBytes
+		all = append(all, recs...)
+	}
+	c.Bytes.Diagnoses++
+	if c.OnDiagnosis != nil {
+		c.OnDiagnosis(Diagnosis{Trigger: trigger, Records: all, Time: c.sim.Now()})
+	}
+}
+
+var _ dataplane.Notifier = (*Controller)(nil)

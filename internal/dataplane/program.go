@@ -1,0 +1,307 @@
+package dataplane
+
+import (
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/topology"
+)
+
+// Config parameterizes the MARS switch program.
+type Config struct {
+	// Epoch is the telemetry sampling period set by the controller
+	// (§4.2.1: "the epoch period can be set by the controller at runtime").
+	Epoch netsim.Time
+	// PathCfg is the PathID hash configuration shared with the control
+	// plane.
+	PathCfg pathid.Config
+	// RingSize is the Ring Table capacity per sink switch.
+	RingSize int
+	// DefaultThreshold applies to flows without a pushed dynamic threshold
+	// (the paper uses a deliberately high default, e.g. 10 s).
+	DefaultThreshold netsim.Time
+	// DropCountThreshold is the source-vs-sink count difference that
+	// triggers a drop notification.
+	DropCountThreshold uint32
+	// NotifyWindow rate-limits notifications: at most one per switch per
+	// window (§4.2.2).
+	NotifyWindow netsim.Time
+}
+
+// DefaultProgramConfig returns the configuration used across the
+// evaluation: 100 ms epochs, 8-bit CRC16 PathIDs, 256-record rings.
+func DefaultProgramConfig() Config {
+	return Config{
+		Epoch:              100 * netsim.Millisecond,
+		PathCfg:            pathid.DefaultConfig(),
+		RingSize:           512,
+		DefaultThreshold:   10 * netsim.Second,
+		DropCountThreshold: 3,
+		NotifyWindow:       50 * netsim.Millisecond,
+	}
+}
+
+// Stats aggregates the program's bandwidth-relevant counters for the
+// Fig. 9 overhead study.
+type Stats struct {
+	// TelemetryLinkBytes counts extra header bytes crossing inter-switch
+	// links (PathID field + INT headers), the "Telemetry" bandwidth bar.
+	TelemetryLinkBytes int64
+	// TelemetryPackets counts packets promoted to telemetry packets.
+	TelemetryPackets int64
+	// Notifications counts data-plane triggers sent (post rate limiting).
+	Notifications int64
+	// SuppressedNotifications counts triggers absorbed by the per-switch
+	// window or the in-header flag.
+	SuppressedNotifications int64
+}
+
+// switchState is the per-switch register memory.
+type switchState struct {
+	it *IngressTable
+	et *EgressTable
+	rt *RingTable
+	// thresholds holds dynamic per-flow latency thresholds pushed by the
+	// control plane.
+	thresholds map[FlowID]netsim.Time
+	// lastTelemEpoch tracks the latest telemetry epoch seen per flow at
+	// the sink, for epoch-gap drop detection.
+	lastTelemEpoch map[FlowID]uint32
+	haveTelemEpoch map[FlowID]bool
+	// lastNotify enforces the notification window.
+	lastNotify netsim.Time
+	notified   bool
+}
+
+// Program is the MARS data plane attached to a simulator. One Program
+// serves every switch of the topology (state is per switch inside).
+type Program struct {
+	netsim.NopHooks
+
+	Cfg   Config
+	Topo  *topology.Topology
+	Paths *pathid.Table
+	// Notify receives anomaly triggers; nil disables notification.
+	Notifier Notifier
+	Stats    Stats
+
+	states []switchState
+	// sinkOf caches each host's edge switch.
+	sinkOf map[topology.NodeID]topology.NodeID
+}
+
+// New creates the program. paths is the control-plane PathID table (the
+// consensus hash chain + MAT entries).
+func New(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Notifier) *Program {
+	p := &Program{Cfg: cfg, Topo: topo, Paths: paths, Notifier: notifier}
+	p.states = make([]switchState, len(topo.Nodes))
+	for i := range topo.Nodes {
+		if topo.Nodes[i].Kind != topology.KindSwitch {
+			continue
+		}
+		p.states[i] = switchState{
+			it:             NewIngressTable(),
+			et:             NewEgressTable(),
+			rt:             NewRingTable(cfg.RingSize),
+			thresholds:     make(map[FlowID]netsim.Time),
+			lastTelemEpoch: make(map[FlowID]uint32),
+			haveTelemEpoch: make(map[FlowID]bool),
+		}
+	}
+	p.sinkOf = make(map[topology.NodeID]topology.NodeID)
+	for _, h := range topo.Hosts() {
+		if sw, ok := topo.EdgeSwitchOf(h); ok {
+			p.sinkOf[h] = sw
+		}
+	}
+	return p
+}
+
+// EpochOf converts a time to a telemetry epoch ID.
+func (p *Program) EpochOf(t netsim.Time) uint32 {
+	return uint32(t / p.Cfg.Epoch)
+}
+
+// SetThreshold installs a dynamic latency threshold for flow at switch sw
+// (the control plane pushes the same value to every switch on the flow's
+// paths; pushing to all switches is equivalent and simpler).
+func (p *Program) SetThreshold(sw topology.NodeID, flow FlowID, d netsim.Time) {
+	p.states[sw].thresholds[flow] = d
+}
+
+// SetThresholdAll installs a flow threshold on every switch.
+func (p *Program) SetThresholdAll(flow FlowID, d netsim.Time) {
+	for _, sw := range p.Topo.Switches() {
+		p.SetThreshold(sw, flow, d)
+	}
+}
+
+// threshold returns the latency threshold in force for flow at sw.
+func (p *Program) threshold(sw topology.NodeID, flow FlowID) netsim.Time {
+	if d, ok := p.states[sw].thresholds[flow]; ok {
+		return d
+	}
+	return p.Cfg.DefaultThreshold
+}
+
+// RTSnapshot returns the sink switch's Ring Table contents oldest-first.
+// The control plane's collection cost is accounted by the caller.
+func (p *Program) RTSnapshot(sw topology.NodeID) []RTRecord {
+	return p.states[sw].rt.Snapshot()
+}
+
+// ITFlows / ETEntries expose table occupancy for the resource model.
+func (p *Program) ITFlows(sw topology.NodeID) int { return p.states[sw].it.Flows() }
+
+// ETEntries returns the sink-side (flow, path) entry count at sw.
+func (p *Program) ETEntries(sw topology.NodeID) int { return p.states[sw].et.Entries() }
+
+// notify sends a notification unless suppressed by the per-switch window.
+func (p *Program) notify(s *netsim.Simulator, sw topology.NodeID, n Notification) {
+	st := &p.states[sw]
+	if st.notified && s.Now()-st.lastNotify < p.Cfg.NotifyWindow {
+		p.Stats.SuppressedNotifications++
+		return
+	}
+	st.lastNotify = s.Now()
+	st.notified = true
+	p.Stats.Notifications++
+	if p.Notifier != nil {
+		p.Notifier.Notify(n)
+	}
+}
+
+// OnForward implements the switch pipeline for one packet at one switch.
+func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, outPort topology.PortID, pkt *netsim.Packet, qlen int) netsim.Action {
+	now := s.Now()
+	epoch := p.EpochOf(now)
+
+	inPeer := p.Topo.Node(sw).Ports[inPort].Peer
+	outPeer := p.Topo.Node(sw).Ports[outPort].Peer
+	isSource := p.Topo.IsHost(inPeer)
+	isSink := p.Topo.IsHost(outPeer)
+
+	var meta *PacketMeta
+	if isSource {
+		// Source switch: attach the PathID field, count the flow, and
+		// possibly promote this packet to the epoch's telemetry packet.
+		meta = &PacketMeta{SourceSwitch: sw}
+		pkt.Meta = meta
+		pkt.ExtraBytes += int32(p.Cfg.PathCfg.HeaderBytes())
+		sink := p.sinkOf[pkt.Dst]
+		st := &p.states[sw]
+		mark, lastCount := st.it.Record(sink, epoch, pkt.Size, now)
+		if mark {
+			meta.INT = &INTHeader{
+				SourceTS:       now,
+				LastEpochCount: lastCount,
+				EpochID:        epoch,
+			}
+			pkt.ExtraBytes += TelemetryHeaderBytes
+			p.Stats.TelemetryPackets++
+		}
+	} else {
+		var ok bool
+		meta, ok = pkt.Meta.(*PacketMeta)
+		if !ok || meta == nil {
+			// Packet entered the network before the program attached (or a
+			// foreign pipeline); treat as untracked.
+			return netsim.ActionForward
+		}
+	}
+
+	// PathID chaining with the consensus port conventions.
+	in := uint16(inPort)
+	if isSource {
+		in = pathid.HostPort
+	}
+	out := uint16(outPort)
+	if isSink {
+		out = pathid.HostPort
+	}
+	ctrl := uint8(0)
+	if p.Paths != nil {
+		ctrl = p.Paths.ControlFor(sw, meta.PathID, in, out)
+	}
+	meta.PathID = pathid.Step(p.Cfg.PathCfg, meta.PathID, sw, in, out, ctrl)
+
+	flow := FlowID{Src: meta.SourceSwitch, Sink: p.sinkOf[pkt.Dst]}
+
+	// Telemetry packet processing at every hop: accumulate queue depth and
+	// run the latency check against the dynamic threshold.
+	if meta.INT != nil {
+		meta.INT.TotalQueueDepth += uint32(qlen)
+		latency := now - meta.INT.SourceTS
+		if !meta.INT.Flagged && latency > p.threshold(sw, flow) {
+			meta.INT.Flagged = true // suppress downstream re-detection
+			p.notify(s, sw, Notification{
+				Kind: NotifyHighLatency, Switch: sw, Flow: flow,
+				Time: now, Latency: latency,
+			})
+		}
+	}
+
+	if isSink {
+		st := &p.states[sw]
+		st.et.Record(flow.Src, meta.PathID, epoch, pkt.Size)
+		if meta.INT != nil {
+			e := meta.INT.EpochID
+			sinkCount := st.et.FlowLastEpochCount(flow.Src, e)
+			pathCount, pathBytes := st.et.PathLastEpoch(flow.Src, meta.PathID, e)
+			rec := RTRecord{
+				Flow:            flow,
+				PathID:          meta.PathID,
+				Epoch:           e,
+				Latency:         now - meta.INT.SourceTS,
+				SourceCount:     meta.INT.LastEpochCount,
+				SinkCount:       sinkCount,
+				PathCount:       pathCount,
+				PathBytes:       pathBytes,
+				TotalQueueDepth: meta.INT.TotalQueueDepth,
+				Arrival:         now,
+			}
+			// Epoch-gap drop detection (§4.3.2): missing telemetry epochs
+			// mean the sampled packets themselves were lost.
+			had := st.haveTelemEpoch[flow]
+			if had {
+				last := st.lastTelemEpoch[flow]
+				if e > last+1 {
+					rec.EpochGap = e - last - 1
+					p.notify(s, sw, Notification{
+						Kind: NotifyDrop, Switch: sw, Flow: flow,
+						Time: now, EpochGap: rec.EpochGap,
+					})
+				}
+			}
+			if !had || e > st.lastTelemEpoch[flow] {
+				st.lastTelemEpoch[flow] = e
+			}
+			st.haveTelemEpoch[flow] = true
+			// Count-mismatch drop detection: source saw more packets last
+			// epoch than the sink received. The margin scales with volume:
+			// under transient queueing the path latency can reach a third
+			// of an epoch, displacing that share of packets across the
+			// boundary without any loss.
+			margin := p.Cfg.DropCountThreshold
+			if rel := rec.SourceCount / 4; rel > margin {
+				margin = rel
+			}
+			if rec.SourceCount > rec.SinkCount+margin {
+				p.notify(s, sw, Notification{
+					Kind: NotifyDrop, Switch: sw, Flow: flow,
+					Time: now, Dropped: int64(rec.SourceCount - rec.SinkCount),
+				})
+			}
+			st.rt.Push(rec)
+		}
+		// Strip all MARS headers before the host link: monitoring is
+		// transparent to end hosts.
+		pkt.ExtraBytes = 0
+		return netsim.ActionForward
+	}
+
+	// The extra header bytes will cross the link out of this switch.
+	p.Stats.TelemetryLinkBytes += int64(pkt.ExtraBytes)
+	return netsim.ActionForward
+}
+
+var _ netsim.Hooks = (*Program)(nil)

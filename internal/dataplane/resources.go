@@ -1,0 +1,59 @@
+package dataplane
+
+// Switch resource model for the Fig. 10 study: how MARS's pipeline
+// consumes a Tofino-class switch's resources as the Ring Table grows.
+// The paper reports MARS "fits in the Tofino pipeline comfortably" with
+// usage percentages per resource class; this model reproduces the shape
+// (SRAM grows linearly with the ring, the other classes are flat) using
+// public Tofino capacity figures.
+
+// ResourceUsage is the share of each resource class consumed, in percent.
+type ResourceUsage struct {
+	RingSize int
+	// SRAMPct: register memory for IT/ET/RT state.
+	SRAMPct float64
+	// PHVPct: packet header vector bits for the INT fields.
+	PHVPct float64
+	// HashBitsPct: hash generator bits (PathID CRC + ECMP).
+	HashBitsPct float64
+	// TCAMPct: match memory (forwarding + PathID conflict MATs).
+	TCAMPct float64
+	// ActionDataPct: stage action data for the telemetry ALU ops.
+	ActionDataPct float64
+}
+
+// Public Tofino-generation capacity figures used for normalization.
+const (
+	tofinoSRAMBytes  = 12 * 1 << 20 // ~12 MiB register SRAM per pipe
+	tofinoPHVBits    = 4096         // PHV bits available per packet
+	tofinoHashBits   = 5000         // aggregate hash-distribution bits
+	tofinoTCAMBytes  = 3 << 19      // 1.5 MiB
+	tofinoActionData = 1 << 20
+)
+
+// ModelResources estimates MARS's switch resource usage for a given Ring
+// Table size (records per switch) and a PathID MAT entry count.
+func ModelResources(ringSize, matEntries, itFlows, etEntries int) ResourceUsage {
+	// SRAM: RT records dominate; IT/ET registers add a small fixed cost.
+	sram := float64(ringSize*RTRecordBytes + itFlows*8 + etEntries*12)
+	// PHV: PathID (1 B) + telemetry header (11 B) + scratch ≈ 128 bits.
+	phv := 128.0
+	// Hash bits: one CRC16 over a 13-byte input (104 bits) + ECMP hash.
+	hash := 104.0 + 64.0
+	// TCAM: PathID conflict entries at 10 B each.
+	tcam := float64(matEntries * pathIDMATBytes)
+	// Action data: constants for telemetry arithmetic, flat.
+	action := 2048.0
+
+	return ResourceUsage{
+		RingSize:      ringSize,
+		SRAMPct:       100 * sram / float64(tofinoSRAMBytes),
+		PHVPct:        100 * phv / float64(tofinoPHVBits),
+		HashBitsPct:   100 * hash / float64(tofinoHashBits),
+		TCAMPct:       100 * tcam / float64(tofinoTCAMBytes),
+		ActionDataPct: 100 * action / float64(tofinoActionData),
+	}
+}
+
+// pathIDMATBytes mirrors pathid.MATEntryBytes without the import cycle.
+const pathIDMATBytes = 10

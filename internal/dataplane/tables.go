@@ -1,0 +1,243 @@
+package dataplane
+
+import (
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/topology"
+)
+
+// epochCounter tracks per-key packet/byte counts for the current and
+// previous epoch, the register pattern a P4 pipeline would use.
+type epochCounter struct {
+	epoch      uint32
+	count      uint32
+	bytes      uint64
+	prevCount  uint32
+	prevBytes  uint64
+	prevEpoch  uint32
+	everEpochs uint32 // number of distinct epochs seen (diagnostics)
+}
+
+// roll advances the counter to epoch e, shifting current into previous.
+// Skipped epochs zero the previous window.
+func (c *epochCounter) roll(e uint32) {
+	if e == c.epoch {
+		return
+	}
+	if e == c.epoch+1 {
+		c.prevCount, c.prevBytes, c.prevEpoch = c.count, c.bytes, c.epoch
+	} else {
+		c.prevCount, c.prevBytes, c.prevEpoch = 0, 0, e-1
+	}
+	c.epoch = e
+	c.count, c.bytes = 0, 0
+}
+
+// add records one packet of size b in epoch e.
+func (c *epochCounter) add(e uint32, b int32) {
+	if c.everEpochs == 0 || e != c.epoch {
+		c.everEpochs++
+	}
+	c.roll(e)
+	c.count++
+	c.bytes += uint64(b)
+}
+
+// lastEpochCount returns the completed count for epoch e-1 as visible at
+// epoch e.
+func (c *epochCounter) lastEpochCount(e uint32) uint32 {
+	if c.epoch == e && c.prevEpoch == e-1 {
+		return c.prevCount
+	}
+	if c.epoch == e-1 {
+		// Epoch e has produced no packets for this key yet; the "previous"
+		// window is still the live one.
+		return c.count
+	}
+	return 0
+}
+
+// IngressTable (IT) is the source-switch state: per-FlowID epoch counters
+// and the bookkeeping that marks exactly one telemetry packet per flow per
+// epoch (§4.2.2). FlowID is simplified to the sink switch because the
+// source switch's own ID covers the other half.
+type IngressTable struct {
+	flows map[topology.NodeID]*itEntry
+}
+
+type itEntry struct {
+	counter        epochCounter
+	lastTelemEpoch uint32
+	haveTelem      bool
+	lastTelemTS    netsim.Time
+}
+
+// NewIngressTable returns an empty IT.
+func NewIngressTable() *IngressTable {
+	return &IngressTable{flows: make(map[topology.NodeID]*itEntry)}
+}
+
+// Record counts a packet toward (sink, epoch) and reports whether this
+// packet should become the epoch's telemetry packet, together with the
+// previous epoch's packet count to embed.
+func (it *IngressTable) Record(sink topology.NodeID, epoch uint32, size int32, now netsim.Time) (mark bool, lastEpochCount uint32) {
+	e := it.flows[sink]
+	if e == nil {
+		e = &itEntry{}
+		it.flows[sink] = e
+	}
+	e.counter.add(epoch, size)
+	lastEpochCount = e.counter.lastEpochCount(epoch)
+	if !e.haveTelem || e.lastTelemEpoch != epoch {
+		e.haveTelem = true
+		e.lastTelemEpoch = epoch
+		e.lastTelemTS = now
+		return true, lastEpochCount
+	}
+	return false, lastEpochCount
+}
+
+// Flows returns the number of tracked flows (state accounting).
+func (it *IngressTable) Flows() int { return len(it.flows) }
+
+// EgressTable (ET) is the sink-switch state: per-(FlowID, PathID) and
+// per-FlowID epoch counters (§4.2.2). FlowID is simplified to the source
+// switch at the sink.
+type EgressTable struct {
+	perPath map[etKey]*epochCounter
+	perFlow map[topology.NodeID]*epochCounter
+}
+
+type etKey struct {
+	src  topology.NodeID
+	path pathid.ID
+}
+
+// NewEgressTable returns an empty ET.
+func NewEgressTable() *EgressTable {
+	return &EgressTable{
+		perPath: make(map[etKey]*epochCounter),
+		perFlow: make(map[topology.NodeID]*epochCounter),
+	}
+}
+
+// Record counts an arriving packet.
+func (et *EgressTable) Record(src topology.NodeID, path pathid.ID, epoch uint32, size int32) {
+	k := etKey{src, path}
+	c := et.perPath[k]
+	if c == nil {
+		c = &epochCounter{}
+		et.perPath[k] = c
+	}
+	c.add(epoch, size)
+	f := et.perFlow[src]
+	if f == nil {
+		f = &epochCounter{}
+		et.perFlow[src] = f
+	}
+	f.add(epoch, size)
+}
+
+// FlowLastEpochCount returns the sink-side count of the flow in epoch-1.
+func (et *EgressTable) FlowLastEpochCount(src topology.NodeID, epoch uint32) uint32 {
+	c := et.perFlow[src]
+	if c == nil {
+		return 0
+	}
+	return c.lastEpochCount(epoch)
+}
+
+// PathLastEpoch returns the per-path count and bytes for epoch-1.
+func (et *EgressTable) PathLastEpoch(src topology.NodeID, path pathid.ID, epoch uint32) (uint32, uint64) {
+	c := et.perPath[etKey{src, path}]
+	if c == nil {
+		return 0, 0
+	}
+	n := c.lastEpochCount(epoch)
+	var b uint64
+	if c.epoch == epoch && c.prevEpoch == epoch-1 {
+		b = c.prevBytes
+	} else if c.epoch == epoch-1 {
+		b = c.bytes
+	}
+	return n, b
+}
+
+// Entries returns the number of (flow, path) keys (state accounting).
+func (et *EgressTable) Entries() int { return len(et.perPath) }
+
+// RTRecord is one Ring Table entry: the self-contained telemetry sample
+// the control plane collects on demand for diagnosis (§4.2.2, §4.4).
+type RTRecord struct {
+	Flow   FlowID
+	PathID pathid.ID
+	Epoch  uint32
+	// Latency is sink arrival time minus source timestamp.
+	Latency netsim.Time
+	// SourceCount is the source switch's packet count for the flow in the
+	// previous epoch (from the INT header).
+	SourceCount uint32
+	// SinkCount is this sink's count for the flow in the previous epoch.
+	SinkCount uint32
+	// PathCount / PathBytes are the per-(flow,path) counts for the
+	// previous epoch, used by traffic estimation and throughput signatures.
+	PathCount uint32
+	PathBytes uint64
+	// TotalQueueDepth is the in-network accumulated queue occupancy.
+	TotalQueueDepth uint32
+	// EpochGap is the number of missing telemetry epochs before this one
+	// (> 0 reveals sustained drop events, §4.3.2).
+	EpochGap uint32
+	// Arrival is the sink arrival time.
+	Arrival netsim.Time
+}
+
+// RingTable keeps the most recent Size telemetry records, overwriting the
+// oldest ("that is why the table is called as ring").
+type RingTable struct {
+	buf  []RTRecord
+	next int
+	full bool
+}
+
+// NewRingTable creates a ring with the given capacity.
+func NewRingTable(size int) *RingTable {
+	if size <= 0 {
+		panic("dataplane: ring table size must be positive")
+	}
+	return &RingTable{buf: make([]RTRecord, size)}
+}
+
+// Push appends a record, overwriting the oldest when full.
+func (rt *RingTable) Push(r RTRecord) {
+	rt.buf[rt.next] = r
+	rt.next++
+	if rt.next == len(rt.buf) {
+		rt.next = 0
+		rt.full = true
+	}
+}
+
+// Len returns the number of valid records.
+func (rt *RingTable) Len() int {
+	if rt.full {
+		return len(rt.buf)
+	}
+	return rt.next
+}
+
+// Cap returns the ring capacity.
+func (rt *RingTable) Cap() int { return len(rt.buf) }
+
+// Snapshot returns the valid records oldest-first.
+func (rt *RingTable) Snapshot() []RTRecord {
+	if !rt.full {
+		out := make([]RTRecord, rt.next)
+		copy(out, rt.buf[:rt.next])
+		return out
+	}
+	out := make([]RTRecord, 0, len(rt.buf))
+	out = append(out, rt.buf[rt.next:]...)
+	out = append(out, rt.buf[:rt.next]...)
+	return out
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mars/internal/controlplane"
+	"mars/internal/dataplane"
+	"mars/internal/faults"
+	"mars/internal/fsm"
+	"mars/internal/metrics"
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/rca"
+	"mars/internal/sbfl"
+)
+
+// AblationResult is a generic named-variant localization comparison.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// AblationRow is one variant's aggregate localization quality.
+type AblationRow struct {
+	Name string
+	Loc  metrics.Localization
+}
+
+// Render formats the comparison.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-18s %6s %6s %6s %6s %8s\n", "variant", "R@1", "R@2", "R@3", "R@5", "Exam")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %6.2f %6.2f %6.2f %6.2f %8.2f\n", row.Name,
+			row.Loc.RecallAt(1), row.Loc.RecallAt(2), row.Loc.RecallAt(3), row.Loc.RecallAt(5), row.Loc.MeanExamScore())
+	}
+	return b.String()
+}
+
+// runMARSVariant runs MARS trials across all fault kinds with a customized
+// RCA config, aggregating ranks.
+func runMARSVariant(trials int, baseSeed int64, mutate func(*rca.Config)) metrics.Localization {
+	var loc metrics.Localization
+	for _, kind := range faults.Kinds() {
+		for i := 0; i < trials; i++ {
+			tc := DefaultTrialConfig(baseSeed+int64(kind)*1000+int64(i), kind)
+			r := runMARSTrialWith(tc, mutate)
+			loc.Add(r.Rank)
+		}
+	}
+	return loc
+}
+
+// runMARSTrialWith is runMARSTrial with an RCA config hook.
+func runMARSTrialWith(tc TrialConfig, mutate func(*rca.Config)) TrialResult {
+	ft, router, sim := buildNet(tc, nil)
+	dcfg := dataplane.DefaultProgramConfig()
+	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
+	if err != nil {
+		panic(err)
+	}
+	prog := dataplane.New(dcfg, ft.Topology, table, nil)
+	// Rebuild the sim with the program attached (buildNet attached nil).
+	router = netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
+	cfg := scaledSimConfig()
+	if tc.SimCfg != nil {
+		cfg = *tc.SimCfg
+	}
+	sim = netsim.New(ft.Topology, router, prog, cfg, tc.Seed)
+	ccfg := controlplane.DefaultConfig()
+	ccfg.Seed = tc.Seed
+	ctrl := controlplane.New(ccfg, sim, prog)
+	prog.Notifier = ctrl
+	ctrl.Start()
+
+	rcfg := rca.DefaultConfig()
+	if mutate != nil {
+		mutate(&rcfg)
+	}
+	analyzer := rca.New(rcfg, table, ctrl)
+	var lists [][]rca.Culprit
+	detected := false
+	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
+		if d.Time >= tc.FaultStart {
+			detected = true
+			lists = append(lists, analyzer.Analyze(d))
+		}
+	}
+	installWorkload(tc, sim, ft)
+	inj := faults.NewInjector(sim, ft, router)
+	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
+	sim.Run(tc.Total)
+
+	merged := rca.MergeRanked(lists)
+	rank := 0
+	for i, c := range merged {
+		if marsMatches(c, gt) {
+			rank = i + 1
+			break
+		}
+	}
+	return TrialResult{System: SysMARS, GT: gt, Rank: rank, Detected: detected}
+}
+
+// RunAblationSBFL compares SBFL scoring formulas (relative risk is the
+// paper's choice).
+func RunAblationSBFL(trials int, baseSeed int64) *AblationResult {
+	out := &AblationResult{Title: "Ablation: SBFL formula"}
+	for _, name := range []string{"relative-risk", "ochiai", "tarantula", "jaccard", "dstar"} {
+		formula := sbfl.Formulas()[name]
+		loc := runMARSVariant(trials, baseSeed, func(c *rca.Config) { c.Formula = formula })
+		out.Rows = append(out.Rows, AblationRow{Name: name, Loc: loc})
+	}
+	return out
+}
+
+// RunAblationFSMMaxLen compares culprit pattern length caps (MARS uses 2:
+// switches and links).
+func RunAblationFSMMaxLen(trials int, baseSeed int64) *AblationResult {
+	out := &AblationResult{Title: "Ablation: FSM max pattern length"}
+	for _, maxLen := range []int{1, 2, 3} {
+		loc := runMARSVariant(trials, baseSeed, func(c *rca.Config) { c.MaxPatternLen = maxLen })
+		out.Rows = append(out.Rows, AblationRow{Name: fmt.Sprintf("maxlen=%d", maxLen), Loc: loc})
+	}
+	return out
+}
+
+// RunAblationMiner confirms miner choice does not change results (they
+// return identical pattern sets), only runtime.
+func RunAblationMiner(trials int, baseSeed int64) *AblationResult {
+	out := &AblationResult{Title: "Ablation: FSM algorithm (results must match)"}
+	for _, name := range []string{"PrefixSpan", "GSP", "CM-SPADE"} {
+		m := fsm.ByName(name)
+		loc := runMARSVariant(trials, baseSeed, func(c *rca.Config) { c.Miner = m })
+		out.Rows = append(out.Rows, AblationRow{Name: name, Loc: loc})
+	}
+	return out
+}
+
+// RunAblationCauseAccuracy scores MARS with the strict cause-matching rule
+// (the diagnosed cause class must equal the injected class, in addition to
+// the location).
+func RunAblationCauseAccuracy(trials int, baseSeed int64) *AblationResult {
+	out := &AblationResult{Title: "Ablation: location-only vs location+cause matching"}
+	for _, strict := range []bool{false, true} {
+		var loc metrics.Localization
+		for _, kind := range faults.Kinds() {
+			for i := 0; i < trials; i++ {
+				tc := DefaultTrialConfig(baseSeed+int64(kind)*1000+int64(i), kind)
+				r := runMARSTrialStrict(tc, strict)
+				loc.Add(r.Rank)
+			}
+		}
+		name := "location"
+		if strict {
+			name = "location+cause"
+		}
+		out.Rows = append(out.Rows, AblationRow{Name: name, Loc: loc})
+	}
+	return out
+}
+
+// runMARSTrialStrict runs one MARS trial with selectable matching.
+func runMARSTrialStrict(tc TrialConfig, strict bool) TrialResult {
+	res := runMARSTrialLists(tc)
+	rank := 0
+	for i, c := range res.merged {
+		ok := marsMatches(c, res.gt)
+		if strict {
+			ok = marsCauseMatches(c, res.gt)
+		}
+		if ok {
+			rank = i + 1
+			break
+		}
+	}
+	return TrialResult{System: SysMARS, GT: res.gt, Rank: rank, Detected: res.detected}
+}
+
+type marsTrialLists struct {
+	merged   []rca.Culprit
+	gt       faults.GroundTruth
+	detected bool
+}
+
+// runMARSTrialLists factors the common MARS trial body returning the raw
+// merged list for custom scoring.
+func runMARSTrialLists(tc TrialConfig) marsTrialLists {
+	ft, _, _ := buildNet(tc, nil)
+	dcfg := dataplane.DefaultProgramConfig()
+	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
+	if err != nil {
+		panic(err)
+	}
+	prog := dataplane.New(dcfg, ft.Topology, table, nil)
+	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
+	cfg := scaledSimConfig()
+	if tc.SimCfg != nil {
+		cfg = *tc.SimCfg
+	}
+	sim := netsim.New(ft.Topology, router, prog, cfg, tc.Seed)
+	ccfg := controlplane.DefaultConfig()
+	ccfg.Seed = tc.Seed
+	ctrl := controlplane.New(ccfg, sim, prog)
+	prog.Notifier = ctrl
+	ctrl.Start()
+	analyzer := rca.New(rca.DefaultConfig(), table, ctrl)
+	var lists [][]rca.Culprit
+	detected := false
+	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
+		if d.Time >= tc.FaultStart {
+			detected = true
+			lists = append(lists, analyzer.Analyze(d))
+		}
+	}
+	installWorkload(tc, sim, ft)
+	inj := faults.NewInjector(sim, ft, router)
+	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
+	sim.Run(tc.Total)
+	return marsTrialLists{merged: rca.MergeRanked(lists), gt: gt, detected: detected}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"mars/internal/fsm"
+)
+
+// Fig11Row is one miner's performance on the abnormal-set corpus.
+type Fig11Row struct {
+	Name      string
+	Runtime   time.Duration
+	AllocMiB  float64
+	NPatterns int
+}
+
+// Fig11Result compares the seven FSM algorithms.
+type Fig11Result struct {
+	Corpus int // sequences mined
+	Rows   []Fig11Row
+}
+
+// fsmCorpus synthesizes an abnormal path set shaped like MARS's: short
+// switch sequences over a fat-tree-sized alphabet, with a hot subsequence
+// (the culprit) appearing in a large fraction of them.
+func fsmCorpus(rng *rand.Rand, n int) fsm.Dataset {
+	db := make(fsm.Dataset, n)
+	culprit := []fsm.Item{7, 13}
+	for i := range db {
+		l := 3 + rng.Intn(3)
+		seq := make(fsm.Sequence, 0, l)
+		seq = append(seq, fsm.Item(20+rng.Intn(8)))
+		if rng.Float64() < 0.6 {
+			seq = append(seq, culprit...)
+		} else {
+			seq = append(seq, fsm.Item(rng.Intn(20)), fsm.Item(rng.Intn(20)))
+		}
+		for len(seq) < l {
+			seq = append(seq, fsm.Item(28+rng.Intn(8)))
+		}
+		db[i] = seq
+	}
+	return db
+}
+
+// RunFig11 measures runtime and allocation of every miner over the same
+// corpus with MARS's parameters (max length 2, 5% support).
+func RunFig11(seed int64, corpusSize, reps int) *Fig11Result {
+	rng := rand.New(rand.NewSource(seed))
+	db := fsmCorpus(rng, corpusSize)
+	params := fsm.Params{MinRelSupport: 0.05, MaxLen: 2}
+	out := &Fig11Result{Corpus: corpusSize}
+	for _, m := range fsm.All() {
+		// Warm up once so one-time costs don't skew the first miner.
+		patterns := m.Mine(db, params)
+		var ms1, ms2 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms1)
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			patterns = m.Mine(db, params)
+		}
+		elapsed := time.Since(start) / time.Duration(reps)
+		runtime.ReadMemStats(&ms2)
+		out.Rows = append(out.Rows, Fig11Row{
+			Name:      m.Name(),
+			Runtime:   elapsed,
+			AllocMiB:  float64(ms2.TotalAlloc-ms1.TotalAlloc) / float64(reps) / (1 << 20),
+			NPatterns: len(patterns),
+		})
+	}
+	return out
+}
+
+// Render formats the comparison.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 11: FSM algorithms on %d abnormal paths (maxlen=2, support=5%%)\n", r.Corpus)
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s\n", "algorithm", "runtime", "alloc(MiB)", "patterns")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12v %12.2f %10d\n", row.Name, row.Runtime, row.AllocMiB, row.NPatterns)
+	}
+	return b.String()
+}

@@ -1,0 +1,255 @@
+// Package fsm implements Frequent Sequence Mining over switch paths
+// (§4.4.2). MARS feeds the abnormal set's paths to a miner and keeps the
+// frequent patterns of length <= 2 — single switches and links — as
+// candidate culprits.
+//
+// Seven algorithms from the paper's Fig. 11 comparison are provided:
+// PrefixSpan, GSP, SPADE, SPAM, LAPIN-SPAM, CM-SPADE, and CM-SPAM. All
+// implement the Miner interface and return identical pattern sets, which
+// the test suite cross-checks against a naive enumerator.
+//
+// Semantics: MARS treats a "link" pattern ⟨a,b⟩ as two *adjacent* switches
+// on a path (the paper's worked example keeps ⟨s3,s2⟩ but not ⟨s3,s4⟩ for
+// path ⟨s3,s2,s4⟩), i.e. contiguous substring matching. The classic
+// gap-allowed subsequence semantics of the original algorithms is also
+// supported via Params.AllowGaps, and both are exercised in tests.
+package fsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one sequence element (a switch ID).
+type Item int32
+
+// Sequence is an ordered list of items (a packet path).
+type Sequence []Item
+
+// Dataset is the sequence database a miner operates on.
+type Dataset []Sequence
+
+// Pattern is a mined frequent sequence with its support (the number of
+// database sequences that contain it).
+type Pattern struct {
+	Items   []Item
+	Support int
+}
+
+func (p Pattern) String() string {
+	s := "<"
+	for i, it := range p.Items {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("s%d", it)
+	}
+	return fmt.Sprintf("%s>:%d", s, p.Support)
+}
+
+// Key returns a map key for the pattern's items.
+func (p Pattern) Key() string { return seqKey(p.Items) }
+
+func seqKey(items []Item) string {
+	b := make([]byte, 0, len(items)*4)
+	for _, it := range items {
+		b = append(b, byte(it>>24), byte(it>>16), byte(it>>8), byte(it))
+	}
+	return string(b)
+}
+
+// Params configures a mining run.
+type Params struct {
+	// MinSupport is the absolute support floor. If zero, MinRelSupport
+	// applies instead.
+	MinSupport int
+	// MinRelSupport is the relative support floor as a fraction of the
+	// database size (the paper's example uses 50%).
+	MinRelSupport float64
+	// MaxLen caps pattern length; 0 means unlimited. MARS uses 2.
+	MaxLen int
+	// AllowGaps selects classic subsequence semantics; false (default)
+	// requires contiguous substring matches, which is what MARS's
+	// link-or-switch patterns mean.
+	AllowGaps bool
+}
+
+// minSupport resolves the effective absolute support for db.
+func (p Params) minSupport(db Dataset) int {
+	ms := p.MinSupport
+	if ms <= 0 {
+		ms = int(p.MinRelSupport * float64(len(db)))
+		if ms < 1 {
+			ms = 1
+		}
+	}
+	return ms
+}
+
+// maxLen resolves the effective pattern length cap.
+func (p Params) maxLen() int {
+	if p.MaxLen <= 0 {
+		return 1 << 30
+	}
+	return p.MaxLen
+}
+
+// Miner is a frequent sequence mining algorithm.
+type Miner interface {
+	Name() string
+	Mine(db Dataset, p Params) []Pattern
+}
+
+// All returns one instance of every implemented algorithm, in the order
+// used by the Fig. 11 experiment.
+func All() []Miner {
+	return []Miner{
+		NewPrefixSpan(),
+		NewLapin(),
+		NewGSP(),
+		NewSpade(),
+		NewSpam(),
+		NewCMSpade(),
+		NewCMSpam(),
+	}
+}
+
+// ByName returns the miner with the given Name, or nil.
+func ByName(name string) Miner {
+	for _, m := range All() {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Contains reports whether seq contains pat under the given semantics.
+func Contains(seq Sequence, pat []Item, allowGaps bool) bool {
+	if len(pat) == 0 {
+		return true
+	}
+	if allowGaps {
+		i := 0
+		for _, it := range seq {
+			if it == pat[i] {
+				i++
+				if i == len(pat) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+outer:
+	for i := 0; i+len(pat) <= len(seq); i++ {
+		for j := range pat {
+			if seq[i+j] != pat[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// sortPatterns orders output deterministically: support descending, then
+// length ascending, then lexicographic items.
+func sortPatterns(ps []Pattern) []Pattern {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Support != ps[j].Support {
+			return ps[i].Support > ps[j].Support
+		}
+		if len(ps[i].Items) != len(ps[j].Items) {
+			return len(ps[i].Items) < len(ps[j].Items)
+		}
+		a, b := ps[i].Items, ps[j].Items
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return ps
+}
+
+// frequentItems returns items meeting minSup with their supports,
+// ascending by item.
+func frequentItems(db Dataset, minSup int) []Pattern {
+	sup := map[Item]int{}
+	for _, seq := range db {
+		seen := map[Item]bool{}
+		for _, it := range seq {
+			if !seen[it] {
+				seen[it] = true
+				sup[it]++
+			}
+		}
+	}
+	var out []Pattern
+	for it, s := range sup {
+		if s >= minSup {
+			out = append(out, Pattern{Items: []Item{it}, Support: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Items[0] < out[j].Items[0] })
+	return out
+}
+
+// NaiveMiner enumerates every distinct substring/subsequence up to MaxLen
+// and counts support by scanning. It is the test oracle and is
+// exponential for gap semantics on long sequences — use only on small
+// databases.
+type NaiveMiner struct{}
+
+// Name implements Miner.
+func (NaiveMiner) Name() string { return "naive" }
+
+// Mine implements Miner.
+func (NaiveMiner) Mine(db Dataset, p Params) []Pattern {
+	minSup := p.minSupport(db)
+	maxLen := p.maxLen()
+	cands := map[string][]Item{}
+	for _, seq := range db {
+		if p.AllowGaps {
+			collectSubseqs(seq, maxLen, cands)
+		} else {
+			for i := range seq {
+				for l := 1; l <= maxLen && i+l <= len(seq); l++ {
+					sub := seq[i : i+l]
+					cands[seqKey(sub)] = append([]Item{}, sub...)
+				}
+			}
+		}
+	}
+	var out []Pattern
+	for _, items := range cands {
+		sup := 0
+		for _, seq := range db {
+			if Contains(seq, items, p.AllowGaps) {
+				sup++
+			}
+		}
+		if sup >= minSup {
+			out = append(out, Pattern{Items: items, Support: sup})
+		}
+	}
+	return sortPatterns(out)
+}
+
+func collectSubseqs(seq Sequence, maxLen int, into map[string][]Item) {
+	var rec func(start int, cur []Item)
+	rec = func(start int, cur []Item) {
+		if len(cur) > 0 {
+			into[seqKey(cur)] = append([]Item{}, cur...)
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for i := start; i < len(seq); i++ {
+			rec(i+1, append(cur, seq[i]))
+		}
+	}
+	rec(0, nil)
+}

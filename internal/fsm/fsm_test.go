@@ -1,0 +1,241 @@
+package fsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// paperExample is §4.4.2's worked example: four copies of <s3,s2,s4> and
+// two of <s6,s2,s7>, max length 2, min relative support 50%.
+func paperExample() Dataset {
+	db := Dataset{}
+	for i := 0; i < 4; i++ {
+		db = append(db, Sequence{3, 2, 4})
+	}
+	for i := 0; i < 2; i++ {
+		db = append(db, Sequence{6, 2, 7})
+	}
+	return db
+}
+
+func patternsToMap(ps []Pattern) map[string]int {
+	m := map[string]int{}
+	for _, p := range ps {
+		m[p.Key()] = p.Support
+	}
+	return m
+}
+
+func TestPaperExampleAllMiners(t *testing.T) {
+	db := paperExample()
+	params := Params{MinRelSupport: 0.5, MaxLen: 2}
+	want := map[string]int{
+		seqKey([]Item{2}):    6,
+		seqKey([]Item{2, 4}): 4,
+		seqKey([]Item{3}):    4,
+		seqKey([]Item{3, 2}): 4,
+		seqKey([]Item{4}):    4,
+	}
+	for _, m := range append(All(), NaiveMiner{}) {
+		got := patternsToMap(m.Mine(db, params))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: got %v patterns, want the paper's 5", m.Name(), len(got))
+			for k, v := range got {
+				t.Logf("  %s: %v -> %d", m.Name(), []byte(k), v)
+			}
+		}
+	}
+}
+
+func TestPaperExampleExcludesNonLink(t *testing.T) {
+	// <s3,s4> is a gap subsequence of <s3,s2,s4> with support 4, but MARS
+	// must not report it: it is not a link (contiguous pair).
+	db := paperExample()
+	got := patternsToMap(NewPrefixSpan().Mine(db, Params{MinRelSupport: 0.5, MaxLen: 2}))
+	if _, bad := got[seqKey([]Item{3, 4})]; bad {
+		t.Error("contiguous mining reported non-adjacent pair <s3,s4>")
+	}
+	// With gaps allowed, it *should* appear — the semantics differ.
+	gapped := patternsToMap(NewPrefixSpan().Mine(db, Params{MinRelSupport: 0.5, MaxLen: 2, AllowGaps: true}))
+	if _, ok := gapped[seqKey([]Item{3, 4})]; !ok {
+		t.Error("gap mining lost subsequence <s3,s4>")
+	}
+}
+
+func TestTopPatternIsS2(t *testing.T) {
+	db := paperExample()
+	ps := NewPrefixSpan().Mine(db, Params{MinRelSupport: 0.5, MaxLen: 2})
+	if len(ps) == 0 || len(ps[0].Items) != 1 || ps[0].Items[0] != 2 || ps[0].Support != 6 {
+		t.Fatalf("top pattern = %v, want <s2>:6", ps[0])
+	}
+}
+
+func TestEmptyAndTinyDatasets(t *testing.T) {
+	for _, m := range All() {
+		if got := m.Mine(nil, Params{MinSupport: 1, MaxLen: 2}); len(got) != 0 {
+			t.Errorf("%s: empty db returned %d patterns", m.Name(), len(got))
+		}
+		got := m.Mine(Dataset{{7}}, Params{MinSupport: 1, MaxLen: 2})
+		if len(got) != 1 || got[0].Support != 1 {
+			t.Errorf("%s: single-item db = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestMinSupportAbsoluteOverridesRelative(t *testing.T) {
+	db := paperExample()
+	// Absolute 5 keeps only <s2>.
+	ps := NewPrefixSpan().Mine(db, Params{MinSupport: 5, MinRelSupport: 0.01, MaxLen: 2})
+	if len(ps) != 1 || ps[0].Items[0] != 2 {
+		t.Fatalf("got %v, want only <s2>", ps)
+	}
+}
+
+func TestMaxLenUnlimited(t *testing.T) {
+	db := Dataset{{1, 2, 3}, {1, 2, 3}}
+	ps := NewPrefixSpan().Mine(db, Params{MinSupport: 2})
+	m := patternsToMap(ps)
+	if m[seqKey([]Item{1, 2, 3})] != 2 {
+		t.Errorf("full-length pattern missing: %v", ps)
+	}
+}
+
+func TestRepeatedItemsWithinSequence(t *testing.T) {
+	// Support counts sequences, not occurrences.
+	db := Dataset{{5, 5, 5}, {5, 1}}
+	for _, m := range append(All(), NaiveMiner{}) {
+		ps := patternsToMap(m.Mine(db, Params{MinSupport: 1, MaxLen: 2}))
+		if ps[seqKey([]Item{5})] != 2 {
+			t.Errorf("%s: support of <5> = %d, want 2", m.Name(), ps[seqKey([]Item{5})])
+		}
+		if ps[seqKey([]Item{5, 5})] != 1 {
+			t.Errorf("%s: support of <5,5> = %d, want 1", m.Name(), ps[seqKey([]Item{5, 5})])
+		}
+	}
+}
+
+// randomPaths builds a dataset that looks like MARS's abnormal sets:
+// short switch sequences (length 1-6) over a small alphabet.
+func randomPaths(rng *rand.Rand, n int) Dataset {
+	db := make(Dataset, n)
+	for i := range db {
+		l := 1 + rng.Intn(6)
+		seq := make(Sequence, l)
+		for j := range seq {
+			seq[j] = Item(rng.Intn(12))
+		}
+		db[i] = seq
+	}
+	return db
+}
+
+func TestCrossValidationContiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		db := randomPaths(rng, 20+rng.Intn(30))
+		params := Params{MinSupport: 2 + rng.Intn(4), MaxLen: 1 + rng.Intn(3)}
+		want := patternsToMap(NaiveMiner{}.Mine(db, params))
+		for _, m := range All() {
+			got := patternsToMap(m.Mine(db, params))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: %s disagrees with naive (got %d, want %d patterns)\nparams %+v",
+					trial, m.Name(), len(got), len(want), params)
+			}
+		}
+	}
+}
+
+func TestCrossValidationGapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 10; trial++ {
+		db := randomPaths(rng, 15+rng.Intn(15))
+		params := Params{MinSupport: 2 + rng.Intn(3), MaxLen: 1 + rng.Intn(3), AllowGaps: true}
+		want := patternsToMap(NaiveMiner{}.Mine(db, params))
+		for _, m := range All() {
+			got := patternsToMap(m.Mine(db, params))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: %s (gapped) disagrees with naive (got %d, want %d)\nparams %+v",
+					trial, m.Name(), len(got), len(want), params)
+			}
+		}
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	db := paperExample()
+	params := Params{MinRelSupport: 0.5, MaxLen: 2}
+	for _, m := range All() {
+		a := m.Mine(db, params)
+		b := m.Mine(db, params)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: non-deterministic output order", m.Name())
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	seq := Sequence{1, 2, 3, 2}
+	cases := []struct {
+		pat  []Item
+		gaps bool
+		want bool
+	}{
+		{[]Item{}, false, true},
+		{[]Item{2, 3}, false, true},
+		{[]Item{1, 3}, false, false},
+		{[]Item{1, 3}, true, true},
+		{[]Item{3, 2}, false, true},
+		{[]Item{2, 2}, false, false},
+		{[]Item{2, 2}, true, true},
+		{[]Item{1, 2, 3, 2}, false, true},
+		{[]Item{1, 2, 3, 2, 9}, false, false},
+	}
+	for _, c := range cases {
+		if got := Contains(seq, c.pat, c.gaps); got != c.want {
+			t.Errorf("Contains(%v, gaps=%v) = %v, want %v", c.pat, c.gaps, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m := ByName("PrefixSpan"); m == nil || m.Name() != "PrefixSpan" {
+		t.Error("ByName(PrefixSpan) failed")
+	}
+	if m := ByName("nonsense"); m != nil {
+		t.Error("ByName(nonsense) should be nil")
+	}
+	names := map[string]bool{}
+	for _, m := range All() {
+		if names[m.Name()] {
+			t.Errorf("duplicate miner name %s", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	if len(names) != 7 {
+		t.Errorf("expected 7 miners, have %d", len(names))
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	b := newBitmap(2)
+	b.set(0)
+	b.set(63)
+	b.set(64)
+	if popcount(b) != 3 {
+		t.Errorf("popcount = %d", popcount(b))
+	}
+}
+
+func BenchmarkMinersOnPathCorpus(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomPaths(rng, 2000)
+	params := Params{MinRelSupport: 0.05, MaxLen: 2}
+	for _, m := range All() {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Mine(db, params)
+			}
+		})
+	}
+}

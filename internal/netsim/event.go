@@ -1,0 +1,51 @@
+package netsim
+
+import "container/heap"
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq) so that runs are deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// agenda is the simulator's pending-event set.
+type agenda struct {
+	h   eventHeap
+	seq uint64
+}
+
+func (a *agenda) schedule(at Time, fn func()) {
+	a.seq++
+	heap.Push(&a.h, event{at: at, seq: a.seq, fn: fn})
+}
+
+func (a *agenda) empty() bool { return len(a.h) == 0 }
+
+func (a *agenda) next() event { return heap.Pop(&a.h).(event) }
+
+func (a *agenda) peek() Time { return a.h[0].at }

@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"mars/internal/topology"
+)
+
+// Router decides the egress port for a packet at a switch. Implementations
+// must be deterministic functions of (switch, packet identity) so that all
+// packets of a flow follow one path unless weights change.
+type Router interface {
+	// Route returns the egress port at sw for pkt, or ok=false if the
+	// switch has no route to the destination.
+	Route(sw topology.NodeID, pkt *Packet) (topology.PortID, bool)
+}
+
+// ECMPRouter implements weighted equal-cost multi-path routing over all
+// shortest paths of the topology, matching the paper's "ECMP strategy
+// based on path weight". The path a flow takes is chosen per switch by
+// hashing the flow key over the weighted next-hop set; with default
+// weights the split is even, and the ECMP-imbalance fault skews the
+// weights at one switch (e.g. 1:4 .. 1:10).
+type ECMPRouter struct {
+	topo *topology.Topology
+	// dist[sw][edge] = hop distance from switch sw to edge switch of a host.
+	dist map[topology.NodeID]map[topology.NodeID]int32
+	// hostEdge maps each host to its edge switch.
+	hostEdge map[topology.NodeID]topology.NodeID
+	// weights[sw][nextHop] overrides the default weight 1.
+	weights map[topology.NodeID]map[topology.NodeID]int32
+	// salt perturbs the flow hash so different runs explore different
+	// hash-to-path assignments.
+	salt uint64
+}
+
+// NewECMPRouter precomputes shortest-path distances between all switches.
+func NewECMPRouter(topo *topology.Topology, salt uint64) *ECMPRouter {
+	r := &ECMPRouter{
+		topo:     topo,
+		dist:     make(map[topology.NodeID]map[topology.NodeID]int32),
+		hostEdge: make(map[topology.NodeID]topology.NodeID),
+		weights:  make(map[topology.NodeID]map[topology.NodeID]int32),
+		salt:     salt,
+	}
+	for _, h := range topo.Hosts() {
+		if sw, ok := topo.EdgeSwitchOf(h); ok {
+			r.hostEdge[h] = sw
+		}
+	}
+	// BFS from every switch over the switch-only subgraph.
+	for _, src := range topo.Switches() {
+		d := make(map[topology.NodeID]int32, topo.NumSwitches())
+		d[src] = 0
+		queue := []topology.NodeID{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, p := range topo.Node(u).Ports {
+				v := p.Peer
+				if !topo.IsSwitch(v) {
+					continue
+				}
+				if _, seen := d[v]; !seen {
+					d[v] = d[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		r.dist[src] = d
+	}
+	return r
+}
+
+// SetWeight overrides the ECMP weight used at sw when the candidate next
+// hop is via. Weight must be >= 1. Weights apply to every destination the
+// next hop is on a shortest path toward.
+func (r *ECMPRouter) SetWeight(sw, via topology.NodeID, w int32) {
+	if w < 1 {
+		panic(fmt.Sprintf("netsim: ECMP weight must be >= 1, got %d", w))
+	}
+	m := r.weights[sw]
+	if m == nil {
+		m = make(map[topology.NodeID]int32)
+		r.weights[sw] = m
+	}
+	m[via] = w
+}
+
+// ResetWeights restores even splitting at sw.
+func (r *ECMPRouter) ResetWeights(sw topology.NodeID) {
+	delete(r.weights, sw)
+}
+
+// NextHops returns the equal-cost next-hop switches from sw toward dst
+// host, in ascending ID order (empty if sw is the destination edge switch).
+func (r *ECMPRouter) NextHops(sw topology.NodeID, dst topology.NodeID) []topology.NodeID {
+	edge, ok := r.hostEdge[dst]
+	if !ok {
+		return nil
+	}
+	if sw == edge {
+		return nil
+	}
+	dcur, ok := r.dist[sw][edge]
+	if !ok {
+		return nil
+	}
+	var hops []topology.NodeID
+	for _, p := range r.topo.Node(sw).Ports {
+		v := p.Peer
+		if !r.topo.IsSwitch(v) {
+			continue
+		}
+		if d, ok := r.dist[v][edge]; ok && d == dcur-1 {
+			hops = append(hops, v)
+		}
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+	return hops
+}
+
+// Route implements Router.
+func (r *ECMPRouter) Route(sw topology.NodeID, pkt *Packet) (topology.PortID, bool) {
+	edge, ok := r.hostEdge[pkt.Dst]
+	if !ok {
+		return 0, false
+	}
+	if sw == edge {
+		return r.topo.PortTo(sw, pkt.Dst)
+	}
+	hops := r.NextHops(sw, pkt.Dst)
+	if len(hops) == 0 {
+		return 0, false
+	}
+	next := hops[0]
+	if len(hops) > 1 {
+		var total int64
+		w := make([]int32, len(hops))
+		for i, h := range hops {
+			w[i] = 1
+			if m := r.weights[sw]; m != nil {
+				if v, ok := m[h]; ok {
+					w[i] = v
+				}
+			}
+			total += int64(w[i])
+		}
+		h := splitmix64(uint64(pkt.Flow) ^ r.salt ^ uint64(sw)*0x9E3779B97F4A7C15)
+		pick := int64(h % uint64(total))
+		for i := range hops {
+			pick -= int64(w[i])
+			if pick < 0 {
+				next = hops[i]
+				break
+			}
+		}
+	}
+	return r.topo.PortTo(sw, next)
+}
+
+// splitmix64 is a fast, well-mixed 64-bit hash used for flow placement.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

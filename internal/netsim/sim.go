@@ -1,0 +1,477 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mars/internal/topology"
+)
+
+// Action is a Hooks verdict on a packet about to be enqueued.
+type Action uint8
+
+const (
+	// ActionForward lets the packet proceed.
+	ActionForward Action = iota
+	// ActionDrop discards the packet (counted as DropByProgram).
+	ActionDrop
+)
+
+// Hooks observes and influences packets as they move through switches.
+// This is the P4-pipeline attachment point: MARS's data plane and each
+// baseline system implement Hooks. All methods run synchronously inside
+// the event loop; implementations must not retain pkt past the call unless
+// they copy what they need (the MARS data plane copies into its register
+// tables, as a real switch would).
+type Hooks interface {
+	// OnSwitchArrival fires when a packet has fully arrived at a switch,
+	// before the routing decision.
+	OnSwitchArrival(s *Simulator, sw topology.NodeID, inPort topology.PortID, pkt *Packet)
+	// OnForward fires after routing; qlen is the egress queue length before
+	// this packet is enqueued. Returning ActionDrop discards the packet.
+	OnForward(s *Simulator, sw topology.NodeID, inPort, outPort topology.PortID, pkt *Packet, qlen int) Action
+	// OnDeliver fires when a packet reaches its destination host.
+	OnDeliver(s *Simulator, host topology.NodeID, pkt *Packet)
+	// OnDrop fires when the simulator discards a packet at sw.
+	OnDrop(s *Simulator, sw topology.NodeID, port topology.PortID, pkt *Packet, reason DropReason)
+}
+
+// NopHooks is an embeddable no-op Hooks implementation.
+type NopHooks struct{}
+
+// OnSwitchArrival implements Hooks.
+func (NopHooks) OnSwitchArrival(*Simulator, topology.NodeID, topology.PortID, *Packet) {}
+
+// OnForward implements Hooks.
+func (NopHooks) OnForward(*Simulator, topology.NodeID, topology.PortID, topology.PortID, *Packet, int) Action {
+	return ActionForward
+}
+
+// OnDeliver implements Hooks.
+func (NopHooks) OnDeliver(*Simulator, topology.NodeID, *Packet) {}
+
+// OnDrop implements Hooks.
+func (NopHooks) OnDrop(*Simulator, topology.NodeID, topology.PortID, *Packet, DropReason) {}
+
+var _ Hooks = NopHooks{}
+
+// Config sets the physical parameters of the simulated network.
+type Config struct {
+	// LinkBandwidthBps is the serialization rate of every link in bits per
+	// second. The paper's testbed uses 10 Gbps ports; the Mininet/BMv2
+	// environment is far slower, and the defaults below match its scale so
+	// queues actually build under the paper's fault loads.
+	LinkBandwidthBps int64
+	// HostLinkBandwidthBps overrides the rate of host-facing links
+	// (0 = same as LinkBandwidthBps). Access links are typically faster
+	// than the software-switch fabric, and a slower setting makes host
+	// fan-in, not the fabric, the bottleneck.
+	HostLinkBandwidthBps int64
+	// PropDelay is the per-link propagation delay.
+	PropDelay Time
+	// SwitchProcDelay is the base per-packet pipeline latency at a switch.
+	SwitchProcDelay Time
+	// QueueCapacity is the per-port egress queue limit in packets; a full
+	// queue tail-drops.
+	QueueCapacity int
+}
+
+// DefaultConfig returns parameters sized like the paper's software-switch
+// environment: modest bandwidth so that >1000 pps bursts visibly build
+// queues, 10 us links, and 64-packet output queues.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidthBps: 20_000_000, // 20 Mbps software switch scale
+		PropDelay:        10 * Microsecond,
+		SwitchProcDelay:  5 * Microsecond,
+		QueueCapacity:    64,
+	}
+}
+
+// portRuntime is the mutable state of one switch egress port.
+type portRuntime struct {
+	queue []*Packet
+	busy  bool
+	// nextFreeAt enforces the process-rate-decrease fault: the earliest
+	// time the next transmission may start.
+	nextFreeAt Time
+
+	// Fault state:
+	dropProb     float64 // random loss probability per enqueue
+	blackhole    bool    // drop everything
+	rateLimitPPS float64 // max departures per second; 0 = unlimited
+	extraLatency Time    // added to every transmission (Delay fault)
+
+	// enqueuedBytes tracks current occupancy in bytes for observability.
+	enqueuedBytes int64
+}
+
+func (p *portRuntime) minGap() Time {
+	if p.rateLimitPPS <= 0 {
+		return 0
+	}
+	return Time(float64(Second) / p.rateLimitPPS)
+}
+
+// switchRuntime is per-switch mutable state.
+type switchRuntime struct {
+	ports     []portRuntime
+	procExtra Time // switch-level Delay fault
+}
+
+// Stats aggregates run-level counters.
+type Stats struct {
+	// LinkBytes[linkID] counts bytes serialized on each link (both
+	// directions summed).
+	LinkBytes []int64
+	// LinkDirBytes[linkID][d] splits the count by direction: d=0 is A→B,
+	// d=1 is B→A (see topology.Link). Per-direction utilization studies
+	// (Fig. 2) need this — a full-duplex link saturates per direction.
+	LinkDirBytes [][2]int64
+	// Sent, Delivered, Dropped count packets end to end.
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	// DropsByReason indexes DropReason.
+	DropsByReason [4]int64
+	// TotalLatency accumulates end-to-end latency of delivered packets.
+	TotalLatency Time
+}
+
+// MeanLatency returns the average end-to-end latency of delivered packets.
+func (st *Stats) MeanLatency() Time {
+	if st.Delivered == 0 {
+		return 0
+	}
+	return st.TotalLatency / Time(st.Delivered)
+}
+
+// Simulator owns the event loop and all runtime network state.
+type Simulator struct {
+	Topo   *topology.Topology
+	Router Router
+	Cfg    Config
+	Stats  Stats
+
+	hooks    Hooks
+	agenda   agenda
+	now      Time
+	rng      *rand.Rand
+	switches []switchRuntime
+	nextPkt  uint64
+	stopped  bool
+}
+
+// New creates a simulator over topo using router for forwarding decisions
+// and hooks as the attached pipeline (nil means no pipeline).
+func New(topo *topology.Topology, router Router, hooks Hooks, cfg Config, seed int64) *Simulator {
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	s := &Simulator{
+		Topo:   topo,
+		Router: router,
+		Cfg:    cfg,
+		hooks:  hooks,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	s.Stats.LinkBytes = make([]int64, len(topo.Links))
+	s.Stats.LinkDirBytes = make([][2]int64, len(topo.Links))
+	s.switches = make([]switchRuntime, len(topo.Nodes))
+	for i := range topo.Nodes {
+		if topo.Nodes[i].Kind == topology.KindSwitch {
+			s.switches[i].ports = make([]portRuntime, len(topo.Nodes[i].Ports))
+		}
+	}
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG exposes the run's deterministic random source for workload
+// generators and fault injectors that must share the seed.
+func (s *Simulator) RNG() *rand.Rand { return s.rng }
+
+// At schedules fn to run at time t (clamped to now if in the past).
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.agenda.schedule(t, fn)
+}
+
+// After schedules fn after a delay from now.
+func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Stop ends the run after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events until the agenda empties or until time `until`
+// passes (events after `until` remain queued). It returns the final time.
+func (s *Simulator) Run(until Time) Time {
+	for !s.stopped && !s.agenda.empty() && s.agenda.peek() <= until {
+		e := s.agenda.next()
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll processes events until the agenda empties.
+func (s *Simulator) RunAll() Time {
+	for !s.stopped && !s.agenda.empty() {
+		e := s.agenda.next()
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// Send emits a packet from its source host at time t. The packet ID is
+// assigned here. Size must be positive.
+func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size int32) *Packet {
+	if !s.Topo.IsHost(src) || !s.Topo.IsHost(dst) {
+		panic(fmt.Sprintf("netsim: Send endpoints must be hosts (%d -> %d)", src, dst))
+	}
+	if size <= 0 {
+		panic("netsim: packet size must be positive")
+	}
+	s.nextPkt++
+	pkt := &Packet{
+		ID:       s.nextPkt,
+		Src:      src,
+		Dst:      dst,
+		Flow:     flow,
+		Size:     size,
+		SendTime: t,
+	}
+	s.Stats.Sent++
+	edge, ok := s.Topo.EdgeSwitchOf(src)
+	if !ok {
+		panic(fmt.Sprintf("netsim: host %d has no edge switch", src))
+	}
+	inPort, _ := s.Topo.PortTo(edge, src)
+	// Host NIC: ideal serialization onto the access link.
+	tx := s.txTimeHost(pkt.WireSize())
+	s.At(t+tx+s.Cfg.PropDelay, func() {
+		hostLink := s.Topo.Node(src).Ports[0].Link
+		s.Stats.LinkBytes[hostLink] += int64(pkt.WireSize())
+		s.countDir(hostLink, src, pkt.WireSize())
+		s.arriveAtSwitch(edge, inPort, pkt)
+	})
+	return pkt
+}
+
+// txTime returns the serialization delay of n bytes at link bandwidth.
+func (s *Simulator) txTime(n int32) Time {
+	return Time(int64(n) * 8 * int64(Second) / s.Cfg.LinkBandwidthBps)
+}
+
+// txTimeHost returns the serialization delay on a host-facing link.
+func (s *Simulator) txTimeHost(n int32) Time {
+	bw := s.Cfg.HostLinkBandwidthBps
+	if bw <= 0 {
+		bw = s.Cfg.LinkBandwidthBps
+	}
+	return Time(int64(n) * 8 * int64(Second) / bw)
+}
+
+// arriveAtSwitch applies the switch-level extra processing delay (the
+// Delay fault: interrupts, power, misconfiguration — latency the pipeline
+// itself experiences) and then runs the pipeline.
+func (s *Simulator) arriveAtSwitch(sw topology.NodeID, inPort topology.PortID, pkt *Packet) {
+	if extra := s.switches[sw].procExtra; extra > 0 {
+		s.After(extra, func() { s.processAtSwitch(sw, inPort, pkt) })
+		return
+	}
+	s.processAtSwitch(sw, inPort, pkt)
+}
+
+// processAtSwitch runs the ingress pipeline, routing, and enqueue for pkt.
+func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, pkt *Packet) {
+	pkt.TruePath = append(pkt.TruePath, sw)
+	pkt.HopArrivals = append(pkt.HopArrivals, s.now)
+	s.hooks.OnSwitchArrival(s, sw, inPort, pkt)
+
+	outPort, ok := s.Router.Route(sw, pkt)
+	if !ok {
+		s.drop(sw, 0, pkt, DropNoRoute)
+		return
+	}
+	sr := &s.switches[sw]
+	pr := &sr.ports[outPort]
+	qlen := len(pr.queue)
+	if pr.busy {
+		qlen++ // count the in-flight packet as queue occupancy
+	}
+	pkt.HopQueueDepths = append(pkt.HopQueueDepths, int32(qlen))
+
+	if act := s.hooks.OnForward(s, sw, inPort, outPort, pkt, qlen); act == ActionDrop {
+		s.drop(sw, outPort, pkt, DropByProgram)
+		return
+	}
+	if pr.blackhole {
+		s.drop(sw, outPort, pkt, DropFault)
+		return
+	}
+	if pr.dropProb > 0 && s.rng.Float64() < pr.dropProb {
+		s.drop(sw, outPort, pkt, DropFault)
+		return
+	}
+	// Pipeline processing delay before the packet is ready at the egress
+	// queue.
+	s.After(s.Cfg.SwitchProcDelay, func() {
+		s.enqueue(sw, outPort, pkt)
+	})
+}
+
+// enqueue places pkt on the egress queue of sw/outPort (tail-dropping if
+// the queue is at capacity) and kicks the transmitter if idle.
+func (s *Simulator) enqueue(sw topology.NodeID, outPort topology.PortID, pkt *Packet) {
+	pr := &s.switches[sw].ports[outPort]
+	if len(pr.queue) >= s.Cfg.QueueCapacity {
+		s.drop(sw, outPort, pkt, DropQueueFull)
+		return
+	}
+	pr.queue = append(pr.queue, pkt)
+	pr.enqueuedBytes += int64(pkt.WireSize())
+	if !pr.busy {
+		s.startTransmit(sw, outPort)
+	}
+}
+
+// startTransmit begins serializing the head-of-line packet.
+func (s *Simulator) startTransmit(sw topology.NodeID, outPort topology.PortID) {
+	pr := &s.switches[sw].ports[outPort]
+	if len(pr.queue) == 0 {
+		pr.busy = false
+		return
+	}
+	start := s.now
+	if pr.nextFreeAt > start {
+		pr.busy = true
+		s.At(pr.nextFreeAt, func() { s.startTransmitNow(sw, outPort) })
+		return
+	}
+	s.startTransmitNow(sw, outPort)
+}
+
+func (s *Simulator) startTransmitNow(sw topology.NodeID, outPort topology.PortID) {
+	pr := &s.switches[sw].ports[outPort]
+	if len(pr.queue) == 0 {
+		pr.busy = false
+		return
+	}
+	pr.busy = true
+	pkt := pr.queue[0]
+	pr.queue = pr.queue[1:]
+	pr.enqueuedBytes -= int64(pkt.WireSize())
+
+	port := s.Topo.Node(sw).Ports[outPort]
+	var tx Time
+	if s.Topo.IsHost(port.Peer) {
+		tx = s.txTimeHost(pkt.WireSize())
+	} else {
+		tx = s.txTime(pkt.WireSize())
+	}
+	tx += pr.extraLatency
+	if g := pr.minGap(); g > tx {
+		// Rate limit dominates serialization (process-rate decrease).
+		tx = g
+	}
+	pr.nextFreeAt = s.now + tx
+	link := port.Link
+	peer := port.Peer
+	peerPort := port.PeerPort
+	s.At(s.now+tx, func() {
+		s.Stats.LinkBytes[link] += int64(pkt.WireSize())
+		s.countDir(link, sw, pkt.WireSize())
+		// Departure complete: propagate, then keep the transmitter going.
+		s.At(s.now+s.Cfg.PropDelay, func() {
+			if s.Topo.IsHost(peer) {
+				s.deliver(peer, pkt)
+			} else {
+				s.arriveAtSwitch(peer, peerPort, pkt)
+			}
+		})
+		s.startTransmit(sw, outPort)
+	})
+}
+
+// countDir attributes bytes to the link direction whose transmitter is
+// `from`.
+func (s *Simulator) countDir(link topology.LinkID, from topology.NodeID, n int32) {
+	if s.Topo.Links[link].A == from {
+		s.Stats.LinkDirBytes[link][0] += int64(n)
+	} else {
+		s.Stats.LinkDirBytes[link][1] += int64(n)
+	}
+}
+
+func (s *Simulator) deliver(host topology.NodeID, pkt *Packet) {
+	s.Stats.Delivered++
+	s.Stats.TotalLatency += s.now - pkt.SendTime
+	s.hooks.OnDeliver(s, host, pkt)
+}
+
+func (s *Simulator) drop(sw topology.NodeID, port topology.PortID, pkt *Packet, reason DropReason) {
+	s.Stats.Dropped++
+	s.Stats.DropsByReason[reason]++
+	s.hooks.OnDrop(s, sw, port, pkt, reason)
+}
+
+// QueueLen returns the current occupancy (packets, including in-flight) of
+// a switch egress port.
+func (s *Simulator) QueueLen(sw topology.NodeID, port topology.PortID) int {
+	pr := &s.switches[sw].ports[port]
+	n := len(pr.queue)
+	if pr.busy {
+		n++
+	}
+	return n
+}
+
+// TotalQueueLen returns the summed occupancy of all ports at sw.
+func (s *Simulator) TotalQueueLen(sw topology.NodeID) int {
+	n := 0
+	for i := range s.switches[sw].ports {
+		n += s.QueueLen(sw, topology.PortID(i))
+	}
+	return n
+}
+
+// --- Fault controls -------------------------------------------------------
+//
+// These are the Chaosblade-equivalent knobs; internal/faults composes them
+// into the paper's five scenarios.
+
+// SetPortDropProb sets random loss probability on an egress port.
+func (s *Simulator) SetPortDropProb(sw topology.NodeID, port topology.PortID, p float64) {
+	s.switches[sw].ports[port].dropProb = p
+}
+
+// SetPortBlackhole drops all packets on an egress port when on.
+func (s *Simulator) SetPortBlackhole(sw topology.NodeID, port topology.PortID, on bool) {
+	s.switches[sw].ports[port].blackhole = on
+}
+
+// SetPortRateLimit caps departures on a port at pps packets per second
+// (0 removes the cap). This models the process-rate-decrease fault.
+func (s *Simulator) SetPortRateLimit(sw topology.NodeID, port topology.PortID, pps float64) {
+	s.switches[sw].ports[port].rateLimitPPS = pps
+}
+
+// SetPortExtraLatency adds fixed latency to every transmission on a port.
+func (s *Simulator) SetPortExtraLatency(sw topology.NodeID, port topology.PortID, d Time) {
+	s.switches[sw].ports[port].extraLatency = d
+}
+
+// SetSwitchExtraDelay adds processing latency to every packet traversing
+// the switch (the Delay fault at switch level: interrupts, power, config).
+func (s *Simulator) SetSwitchExtraDelay(sw topology.NodeID, d Time) {
+	s.switches[sw].procExtra = d
+}

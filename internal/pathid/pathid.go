@@ -1,0 +1,343 @@
+// Package pathid implements MARS's path-aware telemetry encoding (§4.1,
+// Motivation #2): every packet carries a fixed-width PathID that is
+// re-hashed at each hop from {PathID, switchID, ingress port, egress port,
+// control}. The control field is zero unless the control plane installed a
+// Match-Action Table (MAT) entry to break a hash collision, so switch
+// memory is consumed only for the (rare) colliding paths — unlike
+// IntSight, which installs MAT entries for every hop of every path.
+//
+// The control plane precomputes the PathID of every path with the same
+// hash chain (BuildTable) and keeps the PathID → path map used later by
+// root cause analysis to decompress the fixed-size field back into a
+// switch sequence.
+package pathid
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"mars/internal/topology"
+)
+
+// ID is a PathID value. Only the low Config.Width bits are meaningful.
+type ID uint32
+
+// HashAlg selects the per-hop hash.
+type HashAlg uint8
+
+const (
+	// CRC16 is CRC-16/CCITT-FALSE (poly 0x1021), the cheaper option the
+	// paper cites for Tofino hash units.
+	CRC16 HashAlg = iota
+	// CRC32 is IEEE CRC-32.
+	CRC32
+)
+
+func (a HashAlg) String() string {
+	if a == CRC16 {
+		return "crc16"
+	}
+	return "crc32"
+}
+
+// Config fixes the hash algorithm and the carried field width.
+type Config struct {
+	Alg HashAlg
+	// Width is the number of PathID bits carried in the packet header
+	// (the paper suggests a field of e.g. 8 bits; 16 gives fewer
+	// collisions at 1 extra byte).
+	Width uint
+}
+
+// DefaultConfig matches the paper's headline configuration: an 8-bit
+// PathID field hashed with CRC16.
+func DefaultConfig() Config { return Config{Alg: CRC16, Width: 8} }
+
+// mask returns the width mask.
+func (c Config) mask() ID {
+	if c.Width >= 32 {
+		return ^ID(0)
+	}
+	return ID(1)<<c.Width - 1
+}
+
+// HeaderBytes returns the bytes the PathID field occupies on the wire.
+func (c Config) HeaderBytes() int { return int(c.Width+7) / 8 }
+
+// HostPort is the sentinel used in place of the ingress port at the source
+// switch and the egress port at the sink switch, so that the PathID is a
+// pure function of the switch-level path (FlowID carries no host
+// information; see §4.1).
+const HostPort = 0xFFFF
+
+// crc16 implements CRC-16/CCITT-FALSE over buf.
+func crc16(buf []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range buf {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Step computes the next PathID after one hop: the data-plane update
+// hash{PathID, switchID, ingressPort, egressPort, control}.
+func Step(cfg Config, cur ID, sw topology.NodeID, in, out uint16, control uint8) ID {
+	var buf [13]byte
+	buf[0] = byte(cur >> 24)
+	buf[1] = byte(cur >> 16)
+	buf[2] = byte(cur >> 8)
+	buf[3] = byte(cur)
+	buf[4] = byte(uint32(sw) >> 24)
+	buf[5] = byte(uint32(sw) >> 16)
+	buf[6] = byte(uint32(sw) >> 8)
+	buf[7] = byte(uint32(sw))
+	buf[8] = byte(in >> 8)
+	buf[9] = byte(in)
+	buf[10] = byte(out >> 8)
+	buf[11] = byte(out)
+	buf[12] = control
+	var h ID
+	switch cfg.Alg {
+	case CRC16:
+		h = ID(crc16(buf[:]))
+	default:
+		h = ID(crc32.ChecksumIEEE(buf[:]))
+	}
+	return h & cfg.mask()
+}
+
+// HopPorts returns, for each switch of path, the (ingress, egress) port
+// numbers used in the PathID hash chain: real inter-switch port indices in
+// the middle, HostPort sentinels at the ends.
+func HopPorts(topo *topology.Topology, path topology.Path) ([][2]uint16, error) {
+	ports := make([][2]uint16, len(path))
+	for i, sw := range path {
+		in := uint16(HostPort)
+		out := uint16(HostPort)
+		if i > 0 {
+			p, ok := topo.PortTo(sw, path[i-1])
+			if !ok {
+				return nil, fmt.Errorf("pathid: %v not adjacent to %v", path[i-1], sw)
+			}
+			in = uint16(p)
+		}
+		if i < len(path)-1 {
+			p, ok := topo.PortTo(sw, path[i+1])
+			if !ok {
+				return nil, fmt.Errorf("pathid: %v not adjacent to %v", sw, path[i+1])
+			}
+			out = uint16(p)
+		}
+		ports[i] = [2]uint16{in, out}
+	}
+	return ports, nil
+}
+
+// MATEntry is one collision-breaking rule installed at a switch: when a
+// packet with matching current PathID crosses (in → out), use Control in
+// the hash instead of zero.
+type MATEntry struct {
+	Switch  topology.NodeID
+	Cur     ID
+	In, Out uint16
+	Control uint8
+}
+
+// MATEntryBytes is the paper's per-entry memory estimate for MARS
+// (§5.5: "a MAT occupies around 10 bytes").
+const MATEntryBytes = 10
+
+// IntSightMATEntryBytes is the per-entry cost of IntSight's path encoding
+// ("each MAT entry consuming around 7 bytes").
+const IntSightMATEntryBytes = 7
+
+type matKey struct {
+	sw      topology.NodeID
+	cur     ID
+	in, out uint16
+}
+
+// Table is the control plane's PathID database: the consensus hash chain,
+// the collision-breaking MAT entries, and the final-ID → path map used to
+// decompress telemetry reports.
+type Table struct {
+	Cfg  Config
+	topo *topology.Topology
+
+	entries map[matKey]uint8
+	// byFinal maps (sink switch, final ID) to the unique path.
+	byFinal map[finalKey]topology.Path
+	// finalOf maps a path (by string key) to its final ID.
+	finalOf map[string]ID
+	paths   []topology.Path
+}
+
+type finalKey struct {
+	sink topology.NodeID
+	id   ID
+}
+
+func pathKey(p topology.Path) string {
+	b := make([]byte, 0, len(p)*4)
+	for _, n := range p {
+		b = append(b, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	return string(b)
+}
+
+// BuildTable computes PathIDs for every path, resolving collisions between
+// paths that share a sink switch by assigning control values (installing
+// MAT entries) from the sink hop backwards. It errors only if a collision
+// cannot be broken with any of the 255 control values at any hop, which
+// would require a wider PathID.
+func BuildTable(cfg Config, topo *topology.Topology, paths []topology.Path) (*Table, error) {
+	t := &Table{
+		Cfg:     cfg,
+		topo:    topo,
+		entries: make(map[matKey]uint8),
+		byFinal: make(map[finalKey]topology.Path),
+		finalOf: make(map[string]ID),
+	}
+	// Deterministic processing order: shorter paths first, then lexicographic.
+	sorted := make([]topology.Path, len(paths))
+	copy(sorted, paths)
+	sort.Slice(sorted, func(i, j int) bool {
+		if len(sorted[i]) != len(sorted[j]) {
+			return len(sorted[i]) < len(sorted[j])
+		}
+		return pathKey(sorted[i]) < pathKey(sorted[j])
+	})
+	for _, p := range sorted {
+		if err := t.insert(p); err != nil {
+			return nil, err
+		}
+	}
+	t.paths = sorted
+	return t, nil
+}
+
+// chain computes the stepwise IDs of a path under the current entry set.
+// ids[i] is the PathID after hop i.
+func (t *Table) chain(path topology.Path, ports [][2]uint16) []ID {
+	ids := make([]ID, len(path))
+	cur := ID(0)
+	for i, sw := range path {
+		ctrl := t.entries[matKey{sw, cur, ports[i][0], ports[i][1]}]
+		cur = Step(t.Cfg, cur, sw, ports[i][0], ports[i][1], ctrl)
+		ids[i] = cur
+	}
+	return ids
+}
+
+func (t *Table) insert(path topology.Path) error {
+	ports, err := HopPorts(t.topo, path)
+	if err != nil {
+		return err
+	}
+	sink := path[len(path)-1]
+	ids := t.chain(path, ports)
+	final := ids[len(ids)-1]
+	if existing, clash := t.byFinal[finalKey{sink, final}]; clash {
+		if existing.Equal(path) {
+			return nil // duplicate path
+		}
+		// Collision at this sink: walk hops from the sink backwards and try
+		// control values until the final ID is fresh.
+		for hop := len(path) - 1; hop >= 0; hop-- {
+			prev := ID(0)
+			if hop > 0 {
+				prev = ids[hop-1]
+			}
+			key := matKey{path[hop], prev, ports[hop][0], ports[hop][1]}
+			if _, taken := t.entries[key]; taken {
+				// This hop already disambiguates another path; changing it
+				// would break that path's chain. Move one hop earlier.
+				continue
+			}
+			for c := uint8(1); c != 0; c++ {
+				t.entries[key] = c
+				newIDs := t.chain(path, ports)
+				nf := newIDs[len(newIDs)-1]
+				if _, clash2 := t.byFinal[finalKey{sink, nf}]; !clash2 {
+					t.byFinal[finalKey{sink, nf}] = path.Clone()
+					t.finalOf[pathKey(path)] = nf
+					return nil
+				}
+				delete(t.entries, key)
+			}
+		}
+		return fmt.Errorf("pathid: cannot disambiguate %v at width %d", path, t.Cfg.Width)
+	}
+	t.byFinal[finalKey{sink, final}] = path.Clone()
+	t.finalOf[pathKey(path)] = final
+	return nil
+}
+
+// FinalID returns the PathID a packet following path arrives with at the
+// sink, under the table's consensus chain.
+func (t *Table) FinalID(path topology.Path) (ID, bool) {
+	id, ok := t.finalOf[pathKey(path)]
+	return id, ok
+}
+
+// Lookup decompresses a (sink switch, PathID) pair back to the full path.
+func (t *Table) Lookup(sink topology.NodeID, id ID) (topology.Path, bool) {
+	p, ok := t.byFinal[finalKey{sink, id}]
+	return p, ok
+}
+
+// ControlFor is the data-plane MAT lookup at one hop: it returns the
+// control value to hash (0 if no entry matches).
+func (t *Table) ControlFor(sw topology.NodeID, cur ID, in, out uint16) uint8 {
+	return t.entries[matKey{sw, cur, in, out}]
+}
+
+// NumPaths returns the number of distinct paths in the table.
+func (t *Table) NumPaths() int { return len(t.finalOf) }
+
+// MATEntryCount returns the number of collision-breaking entries installed
+// across all switches.
+func (t *Table) MATEntryCount() int { return len(t.entries) }
+
+// MemoryBytes returns the total switch memory spent on PathID MAT entries
+// under the paper's 10 B/entry estimate.
+func (t *Table) MemoryBytes() int { return t.MATEntryCount() * MATEntryBytes }
+
+// EntriesPerSwitch breaks down entry placement for resource reporting.
+func (t *Table) EntriesPerSwitch() map[topology.NodeID]int {
+	m := make(map[topology.NodeID]int)
+	for k := range t.entries {
+		m[k.sw]++
+	}
+	return m
+}
+
+// IntSightMATEntries returns the number of MAT entries IntSight's encoding
+// needs for the same path set: one per hop of every path (§5.5:
+// "IntSight needs to assign MAT entries for all switches on a path").
+func IntSightMATEntries(paths []topology.Path) int {
+	n := 0
+	seen := map[string]bool{}
+	for _, p := range paths {
+		k := pathKey(p)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		n += len(p)
+	}
+	return n
+}
+
+// IntSightMemoryBytes returns IntSight's PathID memory at 7 B/entry.
+func IntSightMemoryBytes(paths []topology.Path) int {
+	return IntSightMATEntries(paths) * IntSightMATEntryBytes
+}

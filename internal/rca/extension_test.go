@@ -1,0 +1,83 @@
+package rca
+
+import (
+	"testing"
+
+	"mars/internal/controlplane"
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// TestCustomSignatureClaimsPattern registers a custom cause that claims
+// every congested pattern and verifies it pre-empts the built-ins.
+func TestCustomSignatureClaimsPattern(t *testing.T) {
+	f := newFixture(t)
+	a := analyzer(f)
+	const CauseFirmwareBug = CauseExtensionBase + 1
+	a.RegisterSignature("firmware-bug", func(ev PatternEvidence) (SignatureMatch, bool) {
+		for _, fl := range ev.Flows {
+			if fl.AbnormalQueueMedian >= 20 {
+				return SignatureMatch{
+					Cause: CauseFirmwareBug,
+					Level: LevelSwitch,
+				}, true
+			}
+		}
+		return SignatureMatch{}, false
+	})
+
+	// Congested scenario (same shape as the process-rate unit test).
+	aggSw := f.ft.AggIDs[0]
+	coreSw := f.ft.CoreIDs[0]
+	link := []topology.NodeID{aggSw, coreSw}
+	var recs []dataplane.RTRecord
+	n := 0
+	for _, src := range f.ft.EdgeIDs {
+		for _, dst := range f.ft.EdgeIDs {
+			if src == dst || n >= 6 {
+				continue
+			}
+			for _, p := range f.ft.AllShortestPaths(src, dst) {
+				if p.Contains(link) {
+					for ep := uint32(1); ep <= 3; ep++ {
+						recs = append(recs, f.record(t, p, ep, badLatency, 20, 30))
+					}
+					n++
+					break
+				}
+			}
+		}
+	}
+	for _, p := range f.ft.AllShortestPaths(f.ft.EdgeIDs[4], f.ft.EdgeIDs[6]) {
+		for ep := uint32(1); ep <= 3; ep++ {
+			recs = append(recs, f.record(t, p, ep, okLatency, 20, 1))
+		}
+	}
+	got := a.Analyze(controlplane.Diagnosis{
+		Trigger: dataplane.Notification{Kind: dataplane.NotifyHighLatency},
+		Records: recs,
+	})
+	if len(got) == 0 {
+		t.Fatal("no culprits")
+	}
+	foundCustom := false
+	for _, c := range got {
+		if c.Cause == CauseFirmwareBug {
+			foundCustom = true
+		}
+		if c.Cause == CauseProcessRate {
+			t.Errorf("built-in cause leaked through a claimed pattern: %v", c)
+		}
+	}
+	if !foundCustom {
+		t.Error("custom signature never matched")
+	}
+}
+
+func TestThresholdFunc(t *testing.T) {
+	var thr Thresholds = ThresholdFunc(func(dataplane.FlowID) netsim.Time { return 42 })
+	if thr.ThresholdOf(dataplane.FlowID{}) != 42 {
+		t.Error("ThresholdFunc broken")
+	}
+}

@@ -1,0 +1,143 @@
+package rca
+
+import (
+	"testing"
+
+	"mars/internal/controlplane"
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+func TestDropAffectedFlowsCancelsDisplacement(t *testing.T) {
+	f := newFixture(t)
+	a := analyzer(f)
+	flow := dataplane.FlowID{Src: f.ft.EdgeIDs[0], Sink: f.ft.EdgeIDs[2]}
+	p := f.ft.AllShortestPaths(flow.Src, flow.Sink)[0]
+
+	// A latency-shift onset: epoch 10 shows a deficit of 18, epoch 11 the
+	// matching surplus. Cumulatively balanced => not a drop.
+	mk := func(epoch, src, sink uint32) dataplane.RTRecord {
+		r := f.record(t, p, epoch, okLatency, src, 1)
+		r.SinkCount = sink
+		r.Arrival = netsim.Time(epoch) * 100 * netsim.Millisecond
+		return r
+	}
+	d := controlplane.Diagnosis{
+		Time: 1200 * netsim.Millisecond,
+		Records: []dataplane.RTRecord{
+			mk(9, 40, 40),
+			mk(10, 40, 22), // deficit 18
+			mk(11, 40, 58), // surplus 18
+		},
+	}
+	if got := a.dropAffectedFlows(d); len(got) != 0 {
+		t.Errorf("displacement flagged as drop: %v", got)
+	}
+
+	// Real loss: sustained deficit accumulates.
+	d2 := controlplane.Diagnosis{
+		Time: 1200 * netsim.Millisecond,
+		Records: []dataplane.RTRecord{
+			mk(9, 40, 18),
+			mk(10, 40, 20),
+			mk(11, 40, 22),
+		},
+	}
+	if got := a.dropAffectedFlows(d2); !got[flow] {
+		t.Errorf("sustained loss not flagged: %v", got)
+	}
+}
+
+func TestDropAffectedFlowsRecentWindow(t *testing.T) {
+	f := newFixture(t)
+	a := analyzer(f)
+	flow := dataplane.FlowID{Src: f.ft.EdgeIDs[0], Sink: f.ft.EdgeIDs[2]}
+	p := f.ft.AllShortestPaths(flow.Src, flow.Sink)[0]
+	old := f.record(t, p, 2, okLatency, 40, 1)
+	old.SinkCount = 0 // massive loss, but long ago
+	old.Arrival = 200 * netsim.Millisecond
+	d := controlplane.Diagnosis{
+		Time:    5 * netsim.Second,
+		Records: []dataplane.RTRecord{old},
+	}
+	if got := a.dropAffectedFlows(d); len(got) != 0 {
+		t.Errorf("stale evidence flagged: %v", got)
+	}
+}
+
+func TestEpochGapIsDirectDropEvidence(t *testing.T) {
+	f := newFixture(t)
+	a := analyzer(f)
+	flow := dataplane.FlowID{Src: f.ft.EdgeIDs[0], Sink: f.ft.EdgeIDs[2]}
+	p := f.ft.AllShortestPaths(flow.Src, flow.Sink)[0]
+	r := f.record(t, p, 30, okLatency, 40, 1)
+	r.EpochGap = 5
+	r.Arrival = 3 * netsim.Second
+	d := controlplane.Diagnosis{Time: 3 * netsim.Second, Records: []dataplane.RTRecord{r}}
+	if got := a.dropAffectedFlows(d); !got[flow] {
+		t.Error("epoch gap not treated as drop evidence")
+	}
+	if !a.hasDropEvidence(d) {
+		t.Error("hasDropEvidence false despite gap")
+	}
+}
+
+func TestIsBurstyAbsoluteRate(t *testing.T) {
+	f := newFixture(t)
+	a := analyzer(f)
+	// Flow appearing mid-window at 1200 pps (120/epoch) with no history.
+	fs := &flowStats{epochCounts: map[uint32]uint32{20: 120, 21: 118}, minEpoch: 20, hasEpoch: true}
+	win := &sinkEpochRange{min: 0, max: 25, valid: true}
+	if !a.isBursty(fs, win, 30) {
+		t.Error("new 1200pps flow not bursty")
+	}
+	// Same rate but present from the window start: steady heavy flow.
+	fs2 := &flowStats{epochCounts: map[uint32]uint32{}, hasEpoch: true}
+	for e := uint32(0); e <= 25; e++ {
+		fs2.epochCounts[e] = 120
+	}
+	fs2.minEpoch = 0
+	if a.isBursty(fs2, win, 30) {
+		t.Error("steady heavy flow misclassified as burst")
+	}
+	// Existing flow whose rate jumps 4x: relative test.
+	fs3 := &flowStats{epochCounts: map[uint32]uint32{}, hasEpoch: true, minEpoch: 0}
+	for e := uint32(0); e <= 20; e++ {
+		fs3.epochCounts[e] = 25
+	}
+	fs3.epochCounts[21] = 110
+	if !a.isBursty(fs3, win, 30) {
+		t.Error("4x rate jump not bursty")
+	}
+}
+
+func TestEcmpDivergenceRequiresHeavyFeedsNext(t *testing.T) {
+	f := newFixture(t)
+	a := analyzer(f)
+	e0 := f.ft.EdgeIDs[0]
+	dst := f.ft.EdgeIDs[2]
+	paths := f.ft.AllShortestPaths(e0, dst)
+	// Build stats with a heavy branch via paths[2] (second aggregation).
+	fls := &flowStats{
+		pathCounts: map[string]float64{},
+		paths:      map[string]topology.Path{},
+	}
+	for i, p := range paths {
+		w := 5.0
+		if i >= 2 { // second agg branch heavy
+			w = 45.0
+		}
+		fls.pathCounts[p.String()] = w
+		fls.paths[p.String()] = p
+	}
+	heavyAgg := paths[2][1]
+	if up, _, ok := a.ecmpDivergence(fls, heavyAgg); !ok || up != e0 {
+		t.Errorf("divergence = %v,%v; want %d", up, ok, e0)
+	}
+	// Asking about the light branch must not match.
+	lightAgg := paths[0][1]
+	if _, _, ok := a.ecmpDivergence(fls, lightAgg); ok {
+		t.Error("light branch wrongly matched")
+	}
+}

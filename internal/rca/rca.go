@@ -1,0 +1,460 @@
+// Package rca implements MARS's root cause analysis (§4.4): triggered by a
+// data-plane notification, it turns the collected Ring Table snapshot into
+// a ranked list of culprits with causes.
+//
+// Pipeline (§4.4's four parts):
+//  1. estimate actual traffic from the sampled telemetry (Alg. 2) and
+//     classify estimated packets into abnormal/normal sets with the
+//     reservoir thresholds;
+//  2. mine frequent sub-sequences (switches and links) of the abnormal
+//     paths with FSM (§4.4.2);
+//  3. score each pattern with relative-risk SBFL (§4.4.3, Eq. 1);
+//  4. assign a cause per culprit by signature matching over the diagnosis
+//     data, score by Alg. 3, and merge (§4.4.4).
+package rca
+
+import (
+	"fmt"
+	"sort"
+
+	"mars/internal/controlplane"
+	"mars/internal/dataplane"
+	"mars/internal/fsm"
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/sbfl"
+	"mars/internal/topology"
+)
+
+// Cause is the diagnosed fault class of a culprit.
+type Cause uint8
+
+const (
+	// CauseMicroBurst is the flow-level burst cause.
+	CauseMicroBurst Cause = iota
+	// CauseECMPImbalance is the switch-level uneven-split cause.
+	CauseECMPImbalance
+	// CauseProcessRate is the port/switch-level slow-drain cause.
+	CauseProcessRate
+	// CauseDelay is the port/switch-level out-of-queue latency cause.
+	CauseDelay
+	// CauseDrop is the port/switch-level loss cause.
+	CauseDrop
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseMicroBurst:
+		return "micro-burst"
+	case CauseECMPImbalance:
+		return "ecmp-imbalance"
+	case CauseProcessRate:
+		return "process-rate"
+	case CauseDelay:
+		return "delay"
+	case CauseDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// Level is the granularity of a culprit.
+type Level uint8
+
+const (
+	// LevelFlow blames a flow (micro-burst).
+	LevelFlow Level = iota
+	// LevelSwitch blames a switch.
+	LevelSwitch
+	// LevelPort blames a specific link/egress port.
+	LevelPort
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelFlow:
+		return "flow"
+	case LevelSwitch:
+		return "switch"
+	default:
+		return "port"
+	}
+}
+
+// Culprit is one entry of the ranked output list.
+type Culprit struct {
+	Cause Cause
+	Level Level
+	// Location is the blamed switch sequence: one switch, or two for a
+	// link/port-level culprit (egress of Location[0] toward Location[1]).
+	Location []topology.NodeID
+	// Flow is set for flow-level culprits.
+	Flow dataplane.FlowID
+	// Score orders the list (higher = more suspicious).
+	Score float64
+}
+
+func (c Culprit) String() string {
+	loc := topology.Path(c.Location).String()
+	if c.Level == LevelFlow {
+		return fmt.Sprintf("%.3f %s %v at %s", c.Score, c.Cause, c.Flow, loc)
+	}
+	return fmt.Sprintf("%.3f %s (%s) at %s", c.Score, c.Cause, c.Level, loc)
+}
+
+// ContainsSwitch reports whether the culprit blames sw.
+func (c Culprit) ContainsSwitch(sw topology.NodeID) bool {
+	for _, s := range c.Location {
+		if s == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// Config tunes the analyzer.
+type Config struct {
+	// Miner is the FSM algorithm (PrefixSpan by default).
+	Miner fsm.Miner
+	// MinRelSupport is the FSM relative support floor over the abnormal set.
+	MinRelSupport float64
+	// MaxPatternLen caps culprit patterns (2 = switches and links).
+	MaxPatternLen int
+	// Formula is the SBFL scorer (relative risk by default).
+	Formula sbfl.Formula
+	// MaxEstimatePerRecord caps Alg. 2 expansion per telemetry record to
+	// bound analysis cost.
+	MaxEstimatePerRecord int
+	// BurstFactor: a flow whose peak epoch rate exceeds BurstFactor times
+	// its quiet baseline matches the micro-burst signature.
+	BurstFactor float64
+	// BurstFactorNew is the relaxed multiple (against the network-wide
+	// median rate) for flows that appeared mid-window and have no quiet
+	// history of their own.
+	BurstFactorNew float64
+	// EpochDuration converts per-epoch counts to rates for the absolute
+	// burst test; it mirrors the data plane's telemetry epoch.
+	EpochDuration netsim.Time
+	// BurstPPS is the absolute rate above which a flow qualifies as a
+	// burst regardless of baselines (the paper's micro-bursts exceed
+	// 1000 pps against ~200 pps background).
+	BurstPPS float64
+	// QueueCongested: total queue depth at or above this matches the
+	// queue-buildup signatures.
+	QueueCongested uint32
+	// CongestionFactor: additionally, the abnormal queue depth must exceed
+	// this multiple of the normal records' median depth (total queue depth
+	// sums over hops, so absolute thresholds alone misfire on long paths).
+	CongestionFactor float64
+	// ImbalanceRatio: per-path throughput max/min at an ECMP divergence at
+	// or above this matches the ECMP signature.
+	ImbalanceRatio float64
+	// StablePPSFactor: peak/median epoch rate below this counts as
+	// "pps remains relatively stable".
+	StablePPSFactor float64
+	// DropCountThreshold mirrors the data plane's drop trigger.
+	DropCountThreshold uint32
+	// MinAbnormalRecords is the least number of over-threshold telemetry
+	// records required before the latency pipeline reports culprits;
+	// below it the anomaly is treated as transient noise.
+	MinAbnormalRecords int
+	// RecentWindow bounds how far back drop evidence is trusted: a latency
+	// fault's onset shifts packets across an epoch boundary once, which
+	// looks like a count mismatch; only sustained (recent) mismatches
+	// drive the drop pipeline.
+	RecentWindow netsim.Time
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Miner:                fsm.NewPrefixSpan(),
+		MinRelSupport:        0.3,
+		MaxPatternLen:        2,
+		Formula:              sbfl.RelativeRisk,
+		MaxEstimatePerRecord: 30,
+		BurstFactor:          3.0,
+		BurstFactorNew:       2.5,
+		EpochDuration:        100 * netsim.Millisecond,
+		BurstPPS:             700,
+		QueueCongested:       8,
+		CongestionFactor:     2.5,
+		ImbalanceRatio:       2.5,
+		StablePPSFactor:      2.0,
+		DropCountThreshold:   3,
+		MinAbnormalRecords:   4,
+		RecentWindow:         400 * netsim.Millisecond,
+	}
+}
+
+// Thresholds supplies the per-flow dynamic thresholds used to classify
+// estimated packets (the controller's reservoirs implement this).
+type Thresholds interface {
+	ThresholdOf(flow dataplane.FlowID) netsim.Time
+}
+
+// Analyzer turns diagnoses into ranked culprit lists.
+type Analyzer struct {
+	Cfg   Config
+	Paths *pathid.Table
+	Thr   Thresholds
+
+	// extensions holds operator-registered cause signatures (see
+	// RegisterSignature).
+	extensions []namedSignature
+}
+
+// New creates an analyzer. paths decompresses PathIDs; thr classifies.
+func New(cfg Config, paths *pathid.Table, thr Thresholds) *Analyzer {
+	if cfg.Miner == nil {
+		cfg.Miner = fsm.NewPrefixSpan()
+	}
+	if cfg.Formula == nil {
+		cfg.Formula = sbfl.RelativeRisk
+	}
+	return &Analyzer{Cfg: cfg, Paths: paths, Thr: thr}
+}
+
+// estPacket is one Alg. 2 estimated packet.
+type estPacket struct {
+	flow     dataplane.FlowID
+	path     topology.Path
+	latency  netsim.Time
+	abnormal bool
+}
+
+// Analyze produces the ranked culprit list for one diagnosis. The
+// notification only initiates collection; the diagnosis data itself is
+// self-contained. Per §4.4.4, drops are diagnosed with "another analysis
+// logic": when the latency pipeline explains the anomaly (bursts, slow
+// ports, and delays all manifest as latency first, often with secondary
+// loss), its findings stand; the drop pipeline runs when the incident has
+// drop evidence but no latency explanation — the signature of link
+// failures and blackholes.
+func (a *Analyzer) Analyze(d controlplane.Diagnosis) []Culprit {
+	lat := a.analyzeLatency(d)
+	runDrop := false
+	if len(lat) == 0 {
+		runDrop = a.hasDropEvidence(d)
+	} else if d.Trigger.Kind == dataplane.NotifyDrop {
+		// The data plane explicitly flagged loss: report both views.
+		runDrop = true
+	}
+	if !runDrop {
+		return lat
+	}
+	drop := a.analyzeDrop(d)
+	if len(lat) == 0 {
+		return drop
+	}
+	return MergeRanked([][]Culprit{lat, drop})
+}
+
+// dropMargin is the count-mismatch tolerance: absolute floor plus a
+// relative allowance for epoch-boundary in-flight packets (mirrors the
+// data plane's trigger).
+func (a *Analyzer) dropMargin(sourceCount uint32) uint32 {
+	m := a.Cfg.DropCountThreshold
+	if rel := sourceCount / 8; rel > m {
+		m = rel
+	}
+	return m
+}
+
+// recent reports whether a record falls inside the trusted drop-evidence
+// window of this diagnosis.
+func (a *Analyzer) recent(d controlplane.Diagnosis, r dataplane.RTRecord) bool {
+	return a.Cfg.RecentWindow <= 0 || r.Arrival >= d.Time-a.Cfg.RecentWindow
+}
+
+// dropAffectedFlows identifies flows with genuine loss in the recent
+// window. Per-epoch count mismatches are summed per flow: a sudden
+// latency shift displaces packets across one epoch boundary (deficit one
+// epoch, surplus the next, cancelling), while real loss accumulates.
+// Epoch gaps (missing telemetry packets) count as direct evidence.
+func (a *Analyzer) dropAffectedFlows(d controlplane.Diagnosis) map[dataplane.FlowID]bool {
+	type agg struct {
+		src, sink uint64
+		gap       bool
+		seen      map[uint32]bool
+	}
+	byFlow := make(map[dataplane.FlowID]*agg)
+	for _, r := range d.Records {
+		if !a.recent(d, r) {
+			continue
+		}
+		f := byFlow[r.Flow]
+		if f == nil {
+			f = &agg{seen: make(map[uint32]bool)}
+			byFlow[r.Flow] = f
+		}
+		if r.EpochGap > 0 {
+			f.gap = true
+		}
+		// A flow can have several records per epoch (one per path); counts
+		// are flow-level, so take each epoch once.
+		if !f.seen[r.Epoch] {
+			f.seen[r.Epoch] = true
+			f.src += uint64(r.SourceCount)
+			f.sink += uint64(r.SinkCount)
+		}
+	}
+	affected := make(map[dataplane.FlowID]bool)
+	for flow, f := range byFlow {
+		if f.gap {
+			affected[flow] = true
+			continue
+		}
+		margin := uint64(a.dropMargin(uint32(min64(f.src, 1<<31))))
+		if f.src > f.sink+margin {
+			affected[flow] = true
+		}
+	}
+	return affected
+}
+
+// Note: the data plane's per-epoch trigger is deliberately jumpy (a switch
+// cannot afford history); the functions above re-verify its claim against
+// the cumulative window before any drop diagnosis runs.
+
+func min64(a uint64, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// hasDropEvidence reports whether the diagnosis carries recent cumulative
+// drop indicators. The trigger kind alone is NOT trusted: a switch's
+// single-epoch count comparison false-fires on latency displacement, and
+// only sustained deficits in the collected data count as loss.
+func (a *Analyzer) hasDropEvidence(d controlplane.Diagnosis) bool {
+	return len(a.dropAffectedFlows(d)) > 0
+}
+
+// decode resolves a record's PathID to its switch path.
+func (a *Analyzer) decode(r dataplane.RTRecord) (topology.Path, bool) {
+	return a.Paths.Lookup(r.Flow.Sink, r.PathID)
+}
+
+// estimate expands records into estimated packets (Alg. 2) and classifies
+// them against the dynamic thresholds.
+func (a *Analyzer) estimate(records []dataplane.RTRecord) []estPacket {
+	var out []estPacket
+	for _, r := range records {
+		path, ok := a.decode(r)
+		if !ok {
+			continue
+		}
+		n := int(r.PathCount)
+		if n < 1 {
+			n = 1 // the telemetry packet itself
+		}
+		if n > a.Cfg.MaxEstimatePerRecord {
+			n = a.Cfg.MaxEstimatePerRecord
+		}
+		abnormal := false
+		if a.Thr != nil {
+			abnormal = r.Latency > a.Thr.ThresholdOf(r.Flow)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, estPacket{flow: r.Flow, path: path, latency: r.Latency, abnormal: abnormal})
+		}
+	}
+	return out
+}
+
+// minePatterns runs FSM over the abnormal paths and scores each pattern
+// with SBFL over both sets.
+func (a *Analyzer) minePatterns(abnormal, normal []estPacket) []scoredPattern {
+	if len(abnormal) == 0 {
+		return nil
+	}
+	db := make(fsm.Dataset, len(abnormal))
+	for i, p := range abnormal {
+		seq := make(fsm.Sequence, len(p.path))
+		for j, sw := range p.path {
+			seq[j] = fsm.Item(sw)
+		}
+		db[i] = seq
+	}
+	patterns := a.Cfg.Miner.Mine(db, fsm.Params{
+		MinRelSupport: a.Cfg.MinRelSupport,
+		MaxLen:        a.Cfg.MaxPatternLen,
+	})
+	out := make([]scoredPattern, 0, len(patterns))
+	for _, pat := range patterns {
+		sub := make([]topology.NodeID, len(pat.Items))
+		for i, it := range pat.Items {
+			sub[i] = topology.NodeID(it)
+		}
+		spec := sbfl.Build(len(abnormal), len(normal),
+			func(i int) bool { return abnormal[i].path.Contains(sub) },
+			func(i int) bool { return normal[i].path.Contains(sub) })
+		out = append(out, scoredPattern{
+			sub:   sub,
+			score: a.Cfg.Formula(spec),
+			npf:   spec.Npf,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		// Longer (more specific) patterns first among ties, then by ID.
+		if len(out[i].sub) != len(out[j].sub) {
+			return len(out[i].sub) > len(out[j].sub)
+		}
+		return lessPath(out[i].sub, out[j].sub)
+	})
+	return out
+}
+
+type scoredPattern struct {
+	sub   []topology.NodeID
+	score float64
+	npf   float64 // abnormal packets covering the pattern
+}
+
+func lessPath(a, b []topology.NodeID) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// rank finalizes a culprit list: sort by score descending with
+// deterministic tie-breaking.
+func rank(cs []Culprit) []Culprit {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Score != cs[j].Score {
+			return cs[i].Score > cs[j].Score
+		}
+		if len(cs[i].Location) != len(cs[j].Location) {
+			return len(cs[i].Location) > len(cs[j].Location)
+		}
+		if !pathEq(cs[i].Location, cs[j].Location) {
+			return lessPath(cs[i].Location, cs[j].Location)
+		}
+		return cs[i].Cause < cs[j].Cause
+	})
+	return cs
+}
+
+func pathEq(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,662 @@
+package rca
+
+import (
+	"sort"
+
+	"mars/internal/controlplane"
+	"mars/internal/dataplane"
+	"mars/internal/topology"
+)
+
+// flowStats summarizes one flow's diagnosis data for signature matching.
+type flowStats struct {
+	// epochCounts maps telemetry epoch -> source-side packet count.
+	epochCounts map[uint32]uint32
+	// pathCounts maps decoded path (by key) -> packets across records.
+	pathCounts map[string]float64
+	paths      map[string]topology.Path
+	// maxQueueDepth is the largest accumulated queue depth seen.
+	maxQueueDepth uint32
+	// abnormalQueueDepths collects depths of the flow's over-threshold
+	// records; the congestion signature uses their median, which is robust
+	// to a single queue blip.
+	abnormalQueueDepths []float64
+	// minEpoch is the earliest epoch among the flow's records, used to
+	// spot flows that appeared mid-window (candidate bursts).
+	minEpoch uint32
+	hasEpoch bool
+}
+
+// abnormalQueueMedian returns the median depth among abnormal records.
+func (fs *flowStats) abnormalQueueMedian() float64 {
+	if len(fs.abnormalQueueDepths) == 0 {
+		return 0
+	}
+	s := make([]float64, len(fs.abnormalQueueDepths))
+	copy(s, fs.abnormalQueueDepths)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// sinkEpochRange tracks the telemetry epochs covered by one sink's Ring
+// Table snapshot; a flow missing from an in-range epoch provably sent
+// nothing that epoch (every active epoch marks a telemetry packet).
+type sinkEpochRange struct {
+	min, max uint32
+	valid    bool
+}
+
+// collectSinkRanges computes the covered epoch window per sink switch.
+func collectSinkRanges(records []dataplane.RTRecord) map[topology.NodeID]*sinkEpochRange {
+	out := make(map[topology.NodeID]*sinkEpochRange)
+	for _, r := range records {
+		sr := out[r.Flow.Sink]
+		if sr == nil {
+			sr = &sinkEpochRange{}
+			out[r.Flow.Sink] = sr
+		}
+		if !sr.valid {
+			sr.min, sr.max, sr.valid = r.Epoch, r.Epoch, true
+			continue
+		}
+		if r.Epoch < sr.min {
+			sr.min = r.Epoch
+		}
+		if r.Epoch > sr.max {
+			sr.max = r.Epoch
+		}
+	}
+	return out
+}
+
+// collectFlowStats indexes the diagnosis records per flow.
+func (a *Analyzer) collectFlowStats(records []dataplane.RTRecord) map[dataplane.FlowID]*flowStats {
+	stats := make(map[dataplane.FlowID]*flowStats)
+	for _, r := range records {
+		fs := stats[r.Flow]
+		if fs == nil {
+			fs = &flowStats{
+				epochCounts: make(map[uint32]uint32),
+				pathCounts:  make(map[string]float64),
+				paths:       make(map[string]topology.Path),
+			}
+			stats[r.Flow] = fs
+		}
+		if r.SourceCount > fs.epochCounts[r.Epoch] {
+			fs.epochCounts[r.Epoch] = r.SourceCount
+		}
+		if path, ok := a.decode(r); ok {
+			k := path.String()
+			fs.pathCounts[k] += float64(r.PathCount) + 1
+			fs.paths[k] = path
+		}
+		if r.TotalQueueDepth > fs.maxQueueDepth {
+			fs.maxQueueDepth = r.TotalQueueDepth
+		}
+		if !fs.hasEpoch || r.Epoch < fs.minEpoch {
+			fs.minEpoch = r.Epoch
+			fs.hasEpoch = true
+		}
+		if a.Thr != nil && r.Latency > a.Thr.ThresholdOf(r.Flow) {
+			fs.abnormalQueueDepths = append(fs.abnormalQueueDepths, float64(r.TotalQueueDepth))
+		}
+	}
+	return stats
+}
+
+// peakAndBaseline returns the peak per-epoch source count and the flow's
+// quiet baseline: the 25th percentile of its recorded epoch rates. Missing
+// epochs are NOT treated as zero-rate silence — ring eviction and
+// fault-delayed telemetry also produce gaps, and padding them with zeros
+// fabricates burstiness for perfectly steady flows.
+func (fs *flowStats) peakAndBaseline() (peak uint32, base float64) {
+	if len(fs.epochCounts) == 0 {
+		return 0, 0
+	}
+	counts := make([]float64, 0, len(fs.epochCounts))
+	for _, c := range fs.epochCounts {
+		if c > peak {
+			peak = c
+		}
+		counts = append(counts, float64(c))
+	}
+	sort.Float64s(counts)
+	return peak, counts[len(counts)/4]
+}
+
+// globalMedianEpochCount is the baseline rate across all flows, used to
+// judge burstiness of flows without their own history.
+func globalMedianEpochCount(stats map[dataplane.FlowID]*flowStats) float64 {
+	var all []float64
+	for _, fs := range stats {
+		for _, c := range fs.epochCounts {
+			all = append(all, float64(c))
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Float64s(all)
+	n := len(all)
+	if n%2 == 1 {
+		return all[n/2]
+	}
+	return (all[n/2-1] + all[n/2]) / 2
+}
+
+// isBursty applies the micro-burst signature: the flow's peak epoch rate
+// rises sharply over its own quiet baseline — or, for a flow that only
+// appeared mid-window at its sink (a transient flow with no history of
+// its own), over the network-wide median rate with the relaxed factor.
+func (a *Analyzer) isBursty(fs *flowStats, window *sinkEpochRange, globalMed float64) bool {
+	peak, base := fs.peakAndBaseline()
+	if base < 1 {
+		base = 1
+	}
+	if len(fs.epochCounts) >= 3 && float64(peak) >= a.Cfg.BurstFactor*base {
+		return true
+	}
+	// Absolute test: the paper defines micro-bursts by sheer rate ("over
+	// 1000 pps" against ~200 pps background). It applies to flows that
+	// appeared mid-window at their sink (new transient flows — the ring
+	// evicts all flows' records chronologically, so a late first record
+	// means the flow genuinely did not exist before) and to flows whose
+	// rate at least doubled.
+	newAtSink := window != nil && window.valid && fs.hasEpoch && fs.minEpoch >= window.min+2
+	if a.Cfg.BurstPPS > 0 && a.Cfg.EpochDuration > 0 {
+		peakPPS := float64(peak) / a.Cfg.EpochDuration.Seconds()
+		if peakPPS >= a.Cfg.BurstPPS && (newAtSink || float64(peak) >= 2*base) {
+			return true
+		}
+	}
+	// Relative fallback against the network-wide median for new flows
+	// below the absolute rate floor.
+	if newAtSink {
+		gm := globalMed
+		if gm < 1 {
+			gm = 1
+		}
+		return float64(peak) >= a.Cfg.BurstFactorNew*gm
+	}
+	return false
+}
+
+// ecmpDivergence finds the switch whose equal-cost split over this flow's
+// paths is most imbalanced AND whose overloaded branch leads directly into
+// `next` (the congested pattern head). It returns ok=false if no
+// divergence reaches the configured ratio.
+func (a *Analyzer) ecmpDivergence(fs *flowStats, next topology.NodeID) (topology.NodeID, float64, bool) {
+	// Build a prefix tree of the flow's paths weighted by packet counts.
+	type nodeKey struct {
+		depth int
+		sw    topology.NodeID
+	}
+	// children[parent][child switch] = accumulated count via that branch.
+	children := make(map[nodeKey]map[topology.NodeID]float64)
+	for k, cnt := range fs.pathCounts {
+		path := fs.paths[k]
+		for i := 0; i+1 < len(path); i++ {
+			pk := nodeKey{i, path[i]}
+			m := children[pk]
+			if m == nil {
+				m = make(map[topology.NodeID]float64)
+				children[pk] = m
+			}
+			m[path[i+1]] += cnt
+		}
+	}
+	var bestSw topology.NodeID
+	var bestRatio float64
+	found := false
+	for pk, m := range children {
+		if len(m) < 2 {
+			continue
+		}
+		var max, min float64
+		var heavy topology.NodeID
+		first := true
+		for child, cnt := range m {
+			if first || cnt > max {
+				max = cnt
+				heavy = child
+			}
+			if first || cnt < min {
+				min = cnt
+			}
+			first = false
+		}
+		if min <= 0 {
+			min = 1
+		}
+		ratio := max / min
+		if ratio < a.Cfg.ImbalanceRatio {
+			continue
+		}
+		// The overloaded branch must feed the congested switch for the
+		// blame to transfer upstream (§4.4.4's s9 -> s1 example).
+		if heavy != next {
+			continue
+		}
+		if !found || ratio > bestRatio {
+			bestSw, bestRatio, found = pk.sw, ratio, true
+		}
+	}
+	return bestSw, bestRatio, found
+}
+
+// ecmpUpstream tries the ECMP signature against every switch of the
+// pattern (the congestion may sit at either end of a link pattern) and
+// returns the best upstream divergence switch.
+func (a *Analyzer) ecmpUpstream(fs *flowStats, sub []topology.NodeID) (topology.NodeID, bool) {
+	var best topology.NodeID
+	var bestRatio float64
+	found := false
+	for _, next := range sub {
+		if up, ratio, ok := a.ecmpDivergence(fs, next); ok {
+			if !found || ratio > bestRatio {
+				best, bestRatio, found = up, ratio, true
+			}
+		}
+	}
+	return best, found
+}
+
+// DebugTrace, when set, receives per-(pattern, flow) signature inputs.
+// Test-only instrumentation.
+var DebugTrace func(flow dataplane.FlowID, sub []topology.NodeID, peak uint32, base float64, epochs int, qmed, baseQ float64)
+
+// analyzeLatency is the high-latency diagnosis path (§4.4.1-4.4.4).
+func (a *Analyzer) analyzeLatency(d controlplane.Diagnosis) []Culprit {
+	est := a.estimate(d.Records)
+	var abnormal, normal []estPacket
+	for _, p := range est {
+		if p.abnormal {
+			abnormal = append(abnormal, p)
+		} else {
+			normal = append(normal, p)
+		}
+	}
+	patterns := a.minePatterns(abnormal, normal)
+	if len(patterns) == 0 {
+		return nil
+	}
+	stats := a.collectFlowStats(d.Records)
+	sinkRanges := collectSinkRanges(d.Records)
+	globalMed := globalMedianEpochCount(stats)
+
+	// Noise floor: too few over-threshold records means a transient blip,
+	// not a localizable incident. The floor scales with the snapshot size
+	// so large collections don't pass on scattered tail noise.
+	if a.Cfg.MinAbnormalRecords > 0 && a.Thr != nil {
+		n := 0
+		for _, r := range d.Records {
+			if r.Latency > a.Thr.ThresholdOf(r.Flow) {
+				n++
+			}
+		}
+		if n < a.Cfg.MinAbnormalRecords {
+			return nil
+		}
+	}
+
+	// Baseline queue depth from records classified normal: the congestion
+	// signature requires abnormal depth to stand out against it.
+	var normalDepths []float64
+	for _, r := range d.Records {
+		if a.Thr == nil || r.Latency <= a.Thr.ThresholdOf(r.Flow) {
+			normalDepths = append(normalDepths, float64(r.TotalQueueDepth))
+		}
+	}
+	baseQ := 1.0
+	if len(normalDepths) > 0 {
+		sort.Float64s(normalDepths)
+		if m := normalDepths[len(normalDepths)/2]; m > baseQ {
+			baseQ = m
+		}
+	}
+	congested := func(fs *flowStats) bool {
+		m := fs.abnormalQueueMedian()
+		return m >= float64(a.Cfg.QueueCongested) && m >= a.Cfg.CongestionFactor*baseQ
+	}
+
+	// Alg. 3: for every culprit pattern, inspect the flows that traverse
+	// it in the diagnosis data (all flows, not only flagged ones — the
+	// offending micro-burst flow may be too new to have a calibrated
+	// threshold) and assign the pattern's cause by signature matching.
+	var culprits []Culprit
+	for _, sp := range patterns {
+		if sp.score <= 0 {
+			continue
+		}
+		flowPkts := make(map[dataplane.FlowID]float64)
+		var total float64
+		for flow, fs := range stats {
+			var cnt float64
+			for k, c := range fs.pathCounts {
+				if fs.paths[k].Contains(sp.sub) {
+					cnt += c
+				}
+			}
+			if cnt > 0 {
+				flowPkts[flow] = cnt
+				total += cnt
+			}
+		}
+		if total == 0 {
+			continue
+		}
+
+		// Operator-registered signatures run first (§5.6's extension
+		// point); any match claims the pattern.
+		if ext := a.runExtensions(sp, flowPkts, stats, baseQ, globalMed); len(ext) > 0 {
+			culprits = append(culprits, ext...)
+			continue
+		}
+
+		// Micro-burst signature first: a bursting flow through the pattern
+		// explains the congestion, so it claims the pattern (weighted by
+		// its packet share) and suppresses spurious switch-level causes.
+		burstFound := false
+		for flow, cnt := range flowPkts {
+			fs := stats[flow]
+			if DebugTrace != nil {
+				peak, base := fs.peakAndBaseline()
+				DebugTrace(flow, sp.sub, peak, base, len(fs.epochCounts), fs.abnormalQueueMedian(), baseQ)
+			}
+			if a.isBursty(fs, sinkRanges[flow.Sink], globalMed) {
+				burstFound = true
+				culprits = append(culprits, Culprit{
+					Cause:    CauseMicroBurst,
+					Level:    LevelFlow,
+					Flow:     flow,
+					Location: append([]topology.NodeID{}, sp.sub...),
+					Score:    sp.score * (cnt / total),
+				})
+			}
+		}
+		if burstFound {
+			continue
+		}
+
+		// Queue-buildup signatures: pool the traversing flows' abnormal
+		// queue observations.
+		var depths []float64
+		for flow := range flowPkts {
+			depths = append(depths, stats[flow].abnormalQueueDepths...)
+		}
+		sort.Float64s(depths)
+		patternCongested := len(depths) > 0 &&
+			depths[len(depths)/2] >= float64(a.Cfg.QueueCongested) &&
+			depths[len(depths)/2] >= a.Cfg.CongestionFactor*baseQ
+
+		c := Culprit{Score: sp.score, Location: append([]topology.NodeID{}, sp.sub...)}
+		if patternCongested {
+			// ECMP check across traversing flows. A single aggregated flow
+			// with few subflows is naturally lumpy over its equal-cost
+			// paths, so a divergence switch is blamed only when at least
+			// two independent flows vote for the same upstream culprit.
+			votes := make(map[topology.NodeID]int)
+			weight := make(map[topology.NodeID]float64)
+			for flow, cnt := range flowPkts {
+				if u, ok := a.ecmpUpstream(stats[flow], sp.sub); ok {
+					votes[u]++
+					weight[u] += cnt
+				}
+			}
+			var up topology.NodeID
+			found := false
+			best := 0.0
+			for u, n := range votes {
+				if n >= 2 && weight[u] > best {
+					up, found, best = u, true, weight[u]
+				}
+			}
+			if found {
+				c.Cause = CauseECMPImbalance
+				c.Level = LevelSwitch
+				c.Location = []topology.NodeID{up}
+			} else {
+				c.Cause = CauseProcessRate
+				if len(sp.sub) == 2 {
+					c.Level = LevelPort
+				} else {
+					c.Level = LevelSwitch
+				}
+			}
+		} else {
+			c.Cause = CauseDelay
+			c.Level = LevelSwitch
+			if len(sp.sub) == 2 {
+				c.Level = LevelPort
+			}
+		}
+		culprits = append(culprits, c)
+	}
+	_ = congested
+	return rank(mergeCulprits(culprits))
+}
+
+// analyzeDrop is the separate drop-diagnosis logic (§4.4.4 "Drop"): the
+// affected flows form the abnormal set and a second SBFL instance ranks
+// the shared locations.
+func (a *Analyzer) analyzeDrop(d controlplane.Diagnosis) []Culprit {
+	affected := a.dropAffectedFlows(d)
+	if d.Trigger.Kind == dataplane.NotifyDrop {
+		affected[d.Trigger.Flow] = true
+	}
+	est := a.estimate(d.Records)
+	var abnormal, normal []estPacket
+	for _, p := range est {
+		if affected[p.flow] {
+			abnormal = append(abnormal, p)
+		} else {
+			normal = append(normal, p)
+		}
+	}
+	patterns := a.minePatterns(abnormal, normal)
+	stats := a.collectFlowStats(d.Records)
+	sinkRanges := collectSinkRanges(d.Records)
+	globalMed := globalMedianEpochCount(stats)
+	var culprits []Culprit
+	for _, sp := range patterns {
+		if sp.score <= 0 {
+			continue
+		}
+		// Loss caused by a bursting flow overflowing the queue is a
+		// micro-burst symptom, not a link failure: attribute the pattern
+		// to the burst flow.
+		burstFound := false
+		for flow, fs := range stats {
+			if !fs.hasEpoch {
+				continue
+			}
+			covers := false
+			for k := range fs.pathCounts {
+				if fs.paths[k].Contains(sp.sub) {
+					covers = true
+					break
+				}
+			}
+			if covers && a.isBursty(fs, sinkRanges[flow.Sink], globalMed) {
+				burstFound = true
+				culprits = append(culprits, Culprit{
+					Cause:    CauseMicroBurst,
+					Level:    LevelFlow,
+					Flow:     flow,
+					Location: append([]topology.NodeID{}, sp.sub...),
+					Score:    sp.score,
+				})
+			}
+		}
+		if burstFound {
+			continue
+		}
+		c := Culprit{
+			Cause:    CauseDrop,
+			Location: append([]topology.NodeID{}, sp.sub...),
+			Score:    sp.score * (sp.npf / float64(maxInt(len(abnormal), 1))),
+		}
+		if len(sp.sub) == 2 {
+			c.Level = LevelPort
+		} else {
+			c.Level = LevelSwitch
+		}
+		culprits = append(culprits, c)
+	}
+	return rank(mergeCulprits(culprits))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mergeCulprits applies §4.4.4's merge rules: repeated flow-level causes
+// keep their maximum score; other repeated causes sum; and port-level
+// causes of the same type on multiple ports of one switch collapse into a
+// switch-level cause.
+func mergeCulprits(cs []Culprit) []Culprit {
+	type key struct {
+		cause Cause
+		level Level
+		loc   string
+		flow  dataplane.FlowID
+	}
+	merged := make(map[key]*Culprit)
+	order := make([]key, 0, len(cs))
+	for _, c := range cs {
+		k := key{cause: c.Cause, level: c.Level, loc: topology.Path(c.Location).String()}
+		if c.Level == LevelFlow {
+			k.flow = c.Flow
+			k.loc = "" // flow identity subsumes location
+		}
+		if m, ok := merged[k]; ok {
+			if c.Level == LevelFlow {
+				if c.Score > m.Score {
+					m.Score = c.Score
+					m.Location = c.Location
+				}
+			} else {
+				m.Score += c.Score
+			}
+		} else {
+			cc := c
+			merged[k] = &cc
+			order = append(order, k)
+		}
+	}
+
+	// Port-level collapse: same cause on >= 2 ports of one switch becomes
+	// one switch-level culprit with summed score.
+	type swKey struct {
+		cause Cause
+		sw    topology.NodeID
+	}
+	portGroups := make(map[swKey][]key)
+	for _, k := range order {
+		m := merged[k]
+		if m.Level == LevelPort && len(m.Location) >= 1 {
+			g := swKey{m.Cause, m.Location[0]}
+			portGroups[g] = append(portGroups[g], k)
+		}
+	}
+	collapsed := make(map[key]bool)
+	var extra []Culprit
+	for g, ks := range portGroups {
+		if len(ks) < 2 {
+			continue
+		}
+		var sum float64
+		for _, k := range ks {
+			sum += merged[k].Score
+			collapsed[k] = true
+		}
+		extra = append(extra, Culprit{
+			Cause:    g.cause,
+			Level:    LevelSwitch,
+			Location: []topology.NodeID{g.sw},
+			Score:    sum,
+		})
+	}
+
+	out := make([]Culprit, 0, len(order)+len(extra))
+	for _, k := range order {
+		if collapsed[k] {
+			continue
+		}
+		out = append(out, *merged[k])
+	}
+	out = append(out, extra...)
+	// The collapse can mint a switch-level culprit that duplicates an
+	// existing one; fold such duplicates with one more merge pass.
+	if len(extra) > 0 {
+		return mergeOnce(out)
+	}
+	return out
+}
+
+// MergeRanked folds the culprit lists of several diagnoses of the same
+// incident into one ranked list (an operator reviews the accumulated
+// evidence). Each list is first normalized to a top score of 1 — SBFL
+// scores are only comparable within one diagnosis — then duplicate
+// culprits merge by the §4.4.4 rules, so persistent culprits accumulate.
+func MergeRanked(lists [][]Culprit) []Culprit {
+	var all []Culprit
+	for _, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		max := l[0].Score
+		for _, c := range l {
+			if c.Score > max {
+				max = c.Score
+			}
+		}
+		if max <= 0 {
+			max = 1
+		}
+		for _, c := range l {
+			c.Score /= max
+			all = append(all, c)
+		}
+	}
+	return rank(mergeOnce(all))
+}
+
+// mergeOnce folds exact-duplicate culprits (same cause, level, location,
+// flow) by summation. Within a single diagnosis the §4.4.4 max-rule for
+// flow-level causes has already been applied by mergeCulprits, so at this
+// stage (port-collapse leftovers and cross-diagnosis accumulation) every
+// cause kind accumulates evidence the same way — otherwise flow-level
+// culprits could never compete with switch-level ones that sum across
+// repeated diagnoses.
+func mergeOnce(cs []Culprit) []Culprit {
+	type key struct {
+		cause Cause
+		level Level
+		loc   string
+		flow  dataplane.FlowID
+	}
+	merged := make(map[key]*Culprit)
+	order := make([]key, 0, len(cs))
+	for _, c := range cs {
+		k := key{c.Cause, c.Level, topology.Path(c.Location).String(), dataplane.FlowID{}}
+		if c.Level == LevelFlow {
+			k.flow, k.loc = c.Flow, ""
+		}
+		if m, ok := merged[k]; ok {
+			m.Score += c.Score
+		} else {
+			cc := c
+			merged[k] = &cc
+			order = append(order, k)
+		}
+	}
+	out := make([]Culprit, 0, len(order))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+// Package reservoir implements MARS's self-adaptive anomaly detection
+// (§4.3.1, Algorithm 1): a per-flow reservoir sample of latency values
+// maintains a dynamic threshold θ = median + C·σ. A penalty factor
+// α = exp(-c_o) shrinks the probability that data observed during a run of
+// consecutive outliers enters the reservoir, so sustained anomalies cannot
+// drag the threshold upward.
+//
+// Note on the published pseudocode: Algorithm 1 as printed resets c_o on
+// an outlier and increments it otherwise, which contradicts the
+// surrounding text ("as more continuous outliers are detected, the
+// possibility that incoming data gets into the reservoir decreases
+// severely") and would starve the reservoir of normal samples. PenaltyText
+// implements the text's semantics (the default); PenaltyPrinted implements
+// the literal pseudocode for the ablation bench; PenaltyOff disables the
+// factor entirely (the "reservoir w/o α" baseline of Fig. 8).
+package reservoir
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PenaltyMode selects how the penalty factor α is driven.
+type PenaltyMode uint8
+
+const (
+	// PenaltyText: c_o counts consecutive outliers (resets on normal data);
+	// α = exp(-c_o). This is the behaviour the paper's prose describes.
+	PenaltyText PenaltyMode = iota
+	// PenaltyOff: α = 1 always (classic reservoir sampling).
+	PenaltyOff
+	// PenaltyPrinted: the literal Algorithm 1 pseudocode (c_o resets on an
+	// outlier and counts consecutive normal samples). Kept for the ablation
+	// study; not recommended.
+	PenaltyPrinted
+)
+
+func (m PenaltyMode) String() string {
+	switch m {
+	case PenaltyText:
+		return "penalty"
+	case PenaltyOff:
+		return "no-penalty"
+	case PenaltyPrinted:
+		return "penalty-printed"
+	default:
+		return "unknown"
+	}
+}
+
+// Scale selects the deviation estimator in θ = median + C·scale.
+type Scale uint8
+
+const (
+	// ScaleMAD uses 1.4826 x the median absolute deviation — robust: the
+	// handful of anomaly samples that slip past the penalty factor cannot
+	// inflate the threshold above the anomaly level. This is the default;
+	// the paper's prose motivates the median for exactly this robustness.
+	ScaleMAD Scale = iota
+	// ScaleStddev uses the sample standard deviation, the paper's literal
+	// θ = m + C·σ. Kept for the ablation bench: a few extreme outliers in
+	// the reservoir can blow σ up and mask the anomaly.
+	ScaleStddev
+)
+
+func (s Scale) String() string {
+	if s == ScaleMAD {
+		return "mad"
+	}
+	return "stddev"
+}
+
+// Config parameterizes a Reservoir.
+type Config struct {
+	// Volume v is the reservoir capacity (number of samples retained).
+	Volume int
+	// StaticProb p_s is the base replacement probability once full.
+	StaticProb float64
+	// C scales the deviation term in θ = median + C·σ.
+	C float64
+	// Scale selects σ's estimator (MAD by default, stddev for ablation).
+	Scale Scale
+	// Penalty selects the α behaviour.
+	Penalty PenaltyMode
+	// DefaultThreshold is used before the reservoir has enough data; the
+	// paper sets it "at a relatively high level (e.g., 10 seconds) to
+	// minimize false positives". Values are unitless here (callers feed
+	// nanoseconds).
+	DefaultThreshold float64
+	// MinSamples is the fill level below which DefaultThreshold applies.
+	MinSamples int
+}
+
+// DefaultConfig mirrors the paper's setup: θ = m + 3σ and a deliberately
+// high default threshold for unknown flows.
+func DefaultConfig() Config {
+	return Config{
+		Volume:           128,
+		StaticProb:       0.5,
+		C:                3,
+		Penalty:          PenaltyText,
+		DefaultThreshold: 10e9, // 10 s in ns
+		MinSamples:       8,
+	}
+}
+
+// Reservoir holds the latency sample of one flow and derives its dynamic
+// threshold. It is not safe for concurrent use; the controller owns one
+// reservoir per flow.
+type Reservoir struct {
+	cfg  Config
+	rng  *rand.Rand
+	data []float64
+	co   int // consecutive-outlier count (PenaltyText) or its inverse
+
+	// cached statistics, invalidated on mutation
+	dirty     bool
+	median    float64
+	stddev    float64
+	threshold float64
+
+	// Observed counters for diagnostics.
+	Accepted int64
+	Rejected int64
+}
+
+// New creates an empty reservoir. rng must not be shared across goroutines.
+func New(cfg Config, rng *rand.Rand) *Reservoir {
+	if cfg.Volume <= 0 {
+		panic("reservoir: volume must be positive")
+	}
+	if cfg.StaticProb <= 0 || cfg.StaticProb > 1 {
+		panic("reservoir: static probability must be in (0,1]")
+	}
+	return &Reservoir{cfg: cfg, rng: rng, data: make([]float64, 0, cfg.Volume), dirty: true}
+}
+
+// Len returns the number of retained samples.
+func (r *Reservoir) Len() int { return len(r.data) }
+
+// refresh recomputes median, stddev, and threshold.
+func (r *Reservoir) refresh() {
+	if !r.dirty {
+		return
+	}
+	r.dirty = false
+	n := len(r.data)
+	if n < r.cfg.MinSamples {
+		r.median, r.stddev = 0, 0
+		r.threshold = r.cfg.DefaultThreshold
+		return
+	}
+	sorted := make([]float64, n)
+	copy(sorted, r.data)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		r.median = sorted[n/2]
+	} else {
+		r.median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum, sum2 float64
+	for _, v := range r.data {
+		sum += v
+	}
+	mean := sum / float64(n)
+	for _, v := range r.data {
+		d := v - mean
+		sum2 += d * d
+	}
+	r.stddev = math.Sqrt(sum2 / float64(n))
+
+	scale := r.stddev
+	if r.cfg.Scale == ScaleMAD {
+		dev := make([]float64, n)
+		for i, v := range r.data {
+			dev[i] = math.Abs(v - r.median)
+		}
+		sort.Float64s(dev)
+		var mad float64
+		if n%2 == 1 {
+			mad = dev[n/2]
+		} else {
+			mad = (dev[n/2-1] + dev[n/2]) / 2
+		}
+		scale = 1.4826 * mad
+		if scale == 0 {
+			// Degenerate (more than half the samples identical): fall back
+			// to the classical estimator so the threshold is not the bare
+			// median.
+			scale = r.stddev
+		}
+	}
+	r.threshold = r.median + r.cfg.C*scale
+}
+
+// Threshold returns the current dynamic threshold θ.
+func (r *Reservoir) Threshold() float64 {
+	r.refresh()
+	return r.threshold
+}
+
+// Median returns the current sample median (0 until MinSamples reached).
+func (r *Reservoir) Median() float64 {
+	r.refresh()
+	return r.median
+}
+
+// Stddev returns the current sample standard deviation.
+func (r *Reservoir) Stddev() float64 {
+	r.refresh()
+	return r.stddev
+}
+
+// Input feeds one latency observation (Algorithm 1) and reports whether it
+// was classified as an outlier against the threshold in force *before*
+// this sample was considered for insertion.
+func (r *Reservoir) Input(l float64) bool {
+	outlier := l > r.Threshold()
+
+	switch r.cfg.Penalty {
+	case PenaltyText:
+		if outlier {
+			r.co++
+		} else {
+			r.co = 0
+		}
+	case PenaltyPrinted:
+		if outlier {
+			r.co = 0
+		} else {
+			r.co++
+		}
+	case PenaltyOff:
+		r.co = 0
+	}
+	alpha := math.Exp(-float64(r.co))
+
+	if len(r.data) < r.cfg.Volume {
+		r.data = append(r.data, l)
+		r.dirty = true
+		r.Accepted++
+		return outlier
+	}
+	if r.rng.Float64() < alpha*r.cfg.StaticProb {
+		idx := r.rng.Intn(len(r.data))
+		r.data[idx] = l
+		r.dirty = true
+		r.Accepted++
+	} else {
+		r.Rejected++
+	}
+	return outlier
+}
+
+// Classify tests a latency against the current threshold without feeding
+// it into the reservoir (used by the data plane, which holds a copy of θ).
+func (r *Reservoir) Classify(l float64) bool { return l > r.Threshold() }
+
+// Snapshot returns a copy of the retained samples (for tests and
+// introspection).
+func (r *Reservoir) Snapshot() []float64 {
+	out := make([]float64, len(r.data))
+	copy(out, r.data)
+	return out
+}
+
+// StaticDetector is the fixed-threshold strawman of Fig. 8: anything above
+// Threshold is an anomaly.
+type StaticDetector struct {
+	Threshold float64
+}
+
+// Input implements the same reporting contract as Reservoir.Input.
+func (s *StaticDetector) Input(l float64) bool { return l > s.Threshold }
+
+// Classify tests without side effects (static detectors have none).
+func (s *StaticDetector) Classify(l float64) bool { return l > s.Threshold }
+
+// Detector abstracts the dynamic and static classifiers for the Fig. 8
+// comparison harness.
+type Detector interface {
+	// Input observes one sample and reports whether it is anomalous.
+	Input(l float64) bool
+	// Classify tests a sample without recording it.
+	Classify(l float64) bool
+}
+
+var (
+	_ Detector = (*Reservoir)(nil)
+	_ Detector = (*StaticDetector)(nil)
+)

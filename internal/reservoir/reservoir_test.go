@@ -1,0 +1,256 @@
+package reservoir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTest(cfg Config, seed int64) *Reservoir {
+	return New(cfg, rand.New(rand.NewSource(seed)))
+}
+
+func TestDefaultThresholdBeforeFill(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newTest(cfg, 1)
+	if got := r.Threshold(); got != cfg.DefaultThreshold {
+		t.Errorf("empty threshold = %v, want default %v", got, cfg.DefaultThreshold)
+	}
+	// Below MinSamples the default still applies.
+	for i := 0; i < cfg.MinSamples-1; i++ {
+		r.Input(100)
+	}
+	if got := r.Threshold(); got != cfg.DefaultThreshold {
+		t.Errorf("underfilled threshold = %v, want default", got)
+	}
+	r.Input(100)
+	if got := r.Threshold(); got == cfg.DefaultThreshold {
+		t.Error("threshold should become dynamic at MinSamples")
+	}
+}
+
+func TestMedianAndStddev(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinSamples = 1
+	r := newTest(cfg, 1)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		r.Input(v)
+	}
+	if m := r.Median(); m != 3 {
+		t.Errorf("median = %v, want 3", m)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if s := r.Stddev(); math.Abs(s-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s, want)
+	}
+	// Even count median.
+	r2 := newTest(cfg, 1)
+	for _, v := range []float64{1, 2, 3, 4} {
+		r2.Input(v)
+	}
+	if m := r2.Median(); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+}
+
+func TestDetectsSpike(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newTest(cfg, 7)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		if r.Input(1000 + 50*rng.NormFloat64()) {
+			// occasional tail outliers are acceptable
+			continue
+		}
+	}
+	if !r.Input(5000) {
+		t.Error("5x spike not flagged")
+	}
+	if r.Input(1010) {
+		t.Error("normal sample flagged after spike")
+	}
+}
+
+func TestThresholdTracksLoadShift(t *testing.T) {
+	// The motivating property of Fig. 5: when the baseline rises slowly,
+	// the dynamic threshold follows and stops flagging the new normal.
+	cfg := DefaultConfig()
+	cfg.Volume = 64
+	r := newTest(cfg, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		r.Input(1000 + 30*rng.NormFloat64())
+	}
+	low := r.Threshold()
+	// Gradual rise to 3000 — feed plenty of samples so replacement catches up.
+	for i := 0; i < 3000; i++ {
+		level := 1000 + 2000*math.Min(1, float64(i)/1500)
+		r.Input(level + 30*rng.NormFloat64())
+	}
+	high := r.Threshold()
+	if high < low*1.5 {
+		t.Errorf("threshold did not track rise: %v -> %v", low, high)
+	}
+	if r.Input(3000 + 40) { // well within 3σ of the new normal
+		t.Error("new-normal sample still flagged")
+	}
+}
+
+func TestPenaltyResistsOutlierFlood(t *testing.T) {
+	// With the penalty factor, a burst of consecutive outliers must not
+	// drag the threshold up (much); without it, the threshold inflates.
+	run := func(mode PenaltyMode) (before, after float64) {
+		cfg := DefaultConfig()
+		cfg.Volume = 64
+		cfg.Penalty = mode
+		r := newTest(cfg, 5)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 500; i++ {
+			r.Input(1000 + 20*rng.NormFloat64())
+		}
+		before = r.Threshold()
+		for i := 0; i < 500; i++ {
+			r.Input(8000 + 100*rng.NormFloat64()) // sustained anomaly
+		}
+		after = r.Threshold()
+		return
+	}
+	_, withPenalty := run(PenaltyText)
+	_, without := run(PenaltyOff)
+	if withPenalty >= without {
+		t.Errorf("penalty threshold %v not below no-penalty %v", withPenalty, without)
+	}
+	// With penalty the threshold should stay well under the anomaly level,
+	// so the anomaly keeps being detected.
+	if withPenalty > 6000 {
+		t.Errorf("penalty threshold %v drifted into anomaly range", withPenalty)
+	}
+	if without < 6000 {
+		t.Errorf("no-penalty threshold %v should have inflated (sanity)", without)
+	}
+}
+
+func TestPenaltyPrintedVariantDiffers(t *testing.T) {
+	// The literal pseudocode penalizes normal data; after a long normal
+	// stream its acceptance count must be far below the text variant's.
+	feed := func(mode PenaltyMode) int64 {
+		cfg := DefaultConfig()
+		cfg.Volume = 32
+		cfg.Penalty = mode
+		r := newTest(cfg, 2)
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 2000; i++ {
+			r.Input(500 + 10*rng.NormFloat64())
+		}
+		return r.Accepted
+	}
+	text := feed(PenaltyText)
+	printed := feed(PenaltyPrinted)
+	if printed >= text/2 {
+		t.Errorf("printed variant accepted %d, text %d; expected starvation", printed, text)
+	}
+}
+
+func TestReservoirCapacityBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Volume = 16
+	r := newTest(cfg, 1)
+	for i := 0; i < 1000; i++ {
+		r.Input(float64(i))
+	}
+	if r.Len() != 16 {
+		t.Errorf("len = %d, want 16", r.Len())
+	}
+}
+
+func TestStaticDetector(t *testing.T) {
+	s := &StaticDetector{Threshold: 100}
+	if s.Input(99) || !s.Input(101) {
+		t.Error("static detector misclassified")
+	}
+	if s.Classify(99) || !s.Classify(101) {
+		t.Error("static classify misclassified")
+	}
+}
+
+func TestClassifyHasNoSideEffects(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newTest(cfg, 1)
+	for i := 0; i < 50; i++ {
+		r.Input(100)
+	}
+	before := r.Threshold()
+	beforeLen := r.Len()
+	r.Classify(1e9)
+	if r.Threshold() != before || r.Len() != beforeLen {
+		t.Error("Classify mutated reservoir")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Volume: 0, StaticProb: 0.5},
+		{Volume: 8, StaticProb: 0},
+		{Volume: 8, StaticProb: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v: expected panic", cfg)
+				}
+			}()
+			New(cfg, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+// Property: the reservoir never exceeds its volume and the threshold is
+// always >= the median once dynamic.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(seed int64, vals []float64) bool {
+		cfg := DefaultConfig()
+		cfg.Volume = 32
+		r := newTest(cfg, seed)
+		for _, v := range vals {
+			r.Input(math.Abs(v))
+			if r.Len() > cfg.Volume {
+				return false
+			}
+			if r.Len() >= cfg.MinSamples && r.Threshold() < r.Median() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot contents are always values that were fed in.
+func TestPropertySnapshotSubsetOfInputs(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cfg := DefaultConfig()
+		cfg.Volume = 16
+		r := newTest(cfg, seed)
+		seen := map[float64]bool{}
+		for _, v := range raw {
+			x := float64(v)
+			seen[x] = true
+			r.Input(x)
+		}
+		for _, v := range r.Snapshot() {
+			if !seen[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// Trace support: the paper drives its testbed with the UW data-center
+// trace; this repository substitutes synthetic generators (DESIGN.md §2).
+// To let users bring their own captures — or to freeze a synthetic
+// workload for exact cross-run comparison — traces can be captured from a
+// simulation, exported to CSV, and replayed.
+
+// TraceRecord is one packet emission.
+type TraceRecord struct {
+	// At is the send time.
+	At netsim.Time
+	// Src and Dst are host node IDs.
+	Src, Dst topology.NodeID
+	// Flow is the ECMP identity.
+	Flow netsim.FlowKey
+	// Size is the packet size in bytes.
+	Size int32
+}
+
+// Trace is an ordered packet trace.
+type Trace []TraceRecord
+
+// Sort orders records by send time (stable on equal times).
+func (tr Trace) Sort() {
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+}
+
+// Duration returns the time span covered by the trace.
+func (tr Trace) Duration() netsim.Time {
+	if len(tr) == 0 {
+		return 0
+	}
+	return tr[len(tr)-1].At - tr[0].At
+}
+
+// WriteCSV exports the trace with the header
+// `time_ns,src,dst,flow,size`.
+func (tr Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ns", "src", "dst", "flow", "size"}); err != nil {
+		return err
+	}
+	for _, r := range tr {
+		rec := []string{
+			strconv.FormatInt(int64(r.At), 10),
+			strconv.FormatInt(int64(r.Src), 10),
+			strconv.FormatInt(int64(r.Dst), 10),
+			strconv.FormatUint(uint64(r.Flow), 10),
+			strconv.FormatInt(int64(r.Size), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV imports a trace written by WriteCSV (or any CSV with the same
+// five columns).
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	start := 0
+	if rows[0][0] == "time_ns" {
+		start = 1
+	}
+	out := make(Trace, 0, len(rows)-start)
+	for i, row := range rows[start:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("workload: trace row %d has %d fields, want 5", i+start+1, len(row))
+		}
+		at, err1 := strconv.ParseInt(row[0], 10, 64)
+		src, err2 := strconv.ParseInt(row[1], 10, 32)
+		dst, err3 := strconv.ParseInt(row[2], 10, 32)
+		flow, err4 := strconv.ParseUint(row[3], 10, 64)
+		size, err5 := strconv.ParseInt(row[4], 10, 32)
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, fmt.Errorf("workload: trace row %d: %w", i+start+1, e)
+			}
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("workload: trace row %d: non-positive size", i+start+1)
+		}
+		out = append(out, TraceRecord{
+			At:   netsim.Time(at),
+			Src:  topology.NodeID(src),
+			Dst:  topology.NodeID(dst),
+			Flow: netsim.FlowKey(flow),
+			Size: int32(size),
+		})
+	}
+	return out, nil
+}
+
+// Replay schedules every trace record on the simulator, offset so the
+// first packet fires at start. Records whose endpoints are not hosts of
+// the simulator's topology are skipped and counted.
+func (tr Trace) Replay(s *netsim.Simulator, start netsim.Time) (sent, skipped int) {
+	if len(tr) == 0 {
+		return 0, 0
+	}
+	sorted := make(Trace, len(tr))
+	copy(sorted, tr)
+	sorted.Sort()
+	base := sorted[0].At
+	for _, r := range sorted {
+		if !s.Topo.IsHost(r.Src) || !s.Topo.IsHost(r.Dst) || r.Src == r.Dst {
+			skipped++
+			continue
+		}
+		rec := r
+		s.At(start+rec.At-base, func() {
+			s.Send(s.Now(), rec.Src, rec.Dst, rec.Flow, rec.Size)
+		})
+		sent++
+	}
+	return sent, skipped
+}
+
+// Recorder captures every host emission from a simulation into a Trace.
+// Attach it as the simulator's Hooks, or chain it in front of another
+// pipeline with Inner.
+type Recorder struct {
+	netsim.NopHooks
+	// Inner, if set, receives all hook callbacks after recording.
+	Inner netsim.Hooks
+	// Out accumulates one record per packet at its first switch arrival.
+	Out Trace
+
+	seen map[uint64]bool
+}
+
+// NewRecorder wraps an optional inner pipeline.
+func NewRecorder(inner netsim.Hooks) *Recorder {
+	return &Recorder{Inner: inner, seen: make(map[uint64]bool)}
+}
+
+// OnSwitchArrival implements netsim.Hooks: the first arrival of a packet
+// (its source edge switch) defines its trace record.
+func (rec *Recorder) OnSwitchArrival(s *netsim.Simulator, sw topology.NodeID, in topology.PortID, pkt *netsim.Packet) {
+	if !rec.seen[pkt.ID] {
+		rec.seen[pkt.ID] = true
+		rec.Out = append(rec.Out, TraceRecord{
+			At: pkt.SendTime, Src: pkt.Src, Dst: pkt.Dst, Flow: pkt.Flow, Size: pkt.Size,
+		})
+	}
+	if rec.Inner != nil {
+		rec.Inner.OnSwitchArrival(s, sw, in, pkt)
+	}
+}
+
+// OnForward implements netsim.Hooks.
+func (rec *Recorder) OnForward(s *netsim.Simulator, sw topology.NodeID, in, out topology.PortID, pkt *netsim.Packet, qlen int) netsim.Action {
+	if rec.Inner != nil {
+		return rec.Inner.OnForward(s, sw, in, out, pkt, qlen)
+	}
+	return netsim.ActionForward
+}
+
+// OnDeliver implements netsim.Hooks.
+func (rec *Recorder) OnDeliver(s *netsim.Simulator, host topology.NodeID, pkt *netsim.Packet) {
+	if rec.Inner != nil {
+		rec.Inner.OnDeliver(s, host, pkt)
+	}
+}
+
+// OnDrop implements netsim.Hooks.
+func (rec *Recorder) OnDrop(s *netsim.Simulator, sw topology.NodeID, port topology.PortID, pkt *netsim.Packet, reason netsim.DropReason) {
+	if rec.Inner != nil {
+		rec.Inner.OnDrop(s, sw, port, pkt, reason)
+	}
+}
+
+var _ netsim.Hooks = (*Recorder)(nil)

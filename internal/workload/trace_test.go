@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := Trace{
+		{At: 100, Src: 7, Dst: 10, Flow: 3, Size: 700},
+		{At: 250, Src: 10, Dst: 7, Flow: 4, Size: 64},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("roundtrip = %v, want %v", got, tr)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time_ns,src,dst,flow,size\nx,1,2,3,4\n",
+		"time_ns,src,dst,flow,size\n1,2,3,4,0\n",
+		"time_ns,src,dst\n1,2,3\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTraceSortAndDuration(t *testing.T) {
+	tr := Trace{{At: 300}, {At: 100}, {At: 200}}
+	tr.Sort()
+	if tr[0].At != 100 || tr[2].At != 300 {
+		t.Errorf("sort: %v", tr)
+	}
+	if tr.Duration() != 200 {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+	if (Trace{}).Duration() != 0 {
+		t.Error("empty duration")
+	}
+}
+
+func TestCaptureAndReplayDeterministic(t *testing.T) {
+	ft, err := topology.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture a synthetic run.
+	rec := NewRecorder(nil)
+	r1 := netsim.NewECMPRouter(ft.Topology, 9)
+	s1 := netsim.New(ft.Topology, r1, rec, netsim.DefaultConfig(), 9)
+	RandomBackground(s1, ft, BackgroundConfig{
+		NumFlows: 12, RatePPS: 150, Gaps: GapExponential,
+		Start: 0, Stop: 500 * netsim.Millisecond, CrossPodBias: 1.0,
+		RoundRobinSrc: true, RoundRobinDst: true,
+	}, 1)
+	s1.Run(netsim.Second)
+	if len(rec.Out) == 0 {
+		t.Fatal("nothing captured")
+	}
+	if int64(len(rec.Out)) != s1.Stats.Sent {
+		t.Errorf("captured %d, sent %d", len(rec.Out), s1.Stats.Sent)
+	}
+
+	// Replay twice; the runs must be identical packet-for-packet.
+	replay := func() (int64, netsim.Time) {
+		r := netsim.NewECMPRouter(ft.Topology, 9)
+		s := netsim.New(ft.Topology, r, nil, netsim.DefaultConfig(), 9)
+		sent, skipped := rec.Out.Replay(s, 0)
+		if skipped != 0 {
+			t.Fatalf("skipped %d records", skipped)
+		}
+		if sent != len(rec.Out) {
+			t.Fatalf("replayed %d of %d", sent, len(rec.Out))
+		}
+		s.RunAll()
+		return s.Stats.Delivered, s.Stats.TotalLatency
+	}
+	d1, l1 := replay()
+	d2, l2 := replay()
+	if d1 != d2 || l1 != l2 {
+		t.Errorf("replays diverged: (%d,%v) vs (%d,%v)", d1, l1, d2, l2)
+	}
+	if d1 != int64(len(rec.Out)) {
+		t.Errorf("replay delivered %d of %d", d1, len(rec.Out))
+	}
+}
+
+func TestReplaySkipsForeignEndpoints(t *testing.T) {
+	ft, _ := topology.NewFatTree(4)
+	r := netsim.NewECMPRouter(ft.Topology, 1)
+	s := netsim.New(ft.Topology, r, nil, netsim.DefaultConfig(), 1)
+	tr := Trace{
+		{At: 0, Src: ft.HostIDs[0], Dst: ft.HostIDs[1], Flow: 1, Size: 100},
+		{At: 10, Src: 0, Dst: ft.HostIDs[1], Flow: 2, Size: 100},             // src is a switch
+		{At: 20, Src: ft.HostIDs[2], Dst: ft.HostIDs[2], Flow: 3, Size: 100}, // self flow
+		{At: 30, Src: 9999, Dst: ft.HostIDs[1], Flow: 4, Size: 100},          // out of range
+	}
+	sent, skipped := tr.Replay(s, 0)
+	if sent != 1 || skipped != 3 {
+		t.Errorf("sent=%d skipped=%d, want 1/3", sent, skipped)
+	}
+	s.RunAll()
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+func testTopo(t *testing.T) (*topology.FatTree, *netsim.Simulator) {
+	t.Helper()
+	ft, err := topology.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := netsim.NewECMPRouter(ft.Topology, 1)
+	s := netsim.New(ft.Topology, r, nil, netsim.DefaultConfig(), 42)
+	return ft, s
+}
+
+func TestFlowRateApproximation(t *testing.T) {
+	ft, s := testTopo(t)
+	f := &Flow{
+		Src: ft.HostIDs[0], Dst: ft.HostIDs[5], Key: 1,
+		RatePPS: 200, Gaps: GapExponential,
+		Start: 0, Stop: 2 * netsim.Second,
+	}
+	f.Install(s)
+	s.Run(3 * netsim.Second)
+	// 200 pps for 2 s => ~400 packets; Poisson, so allow 3 sigma (~±60).
+	if f.SentCount < 330 || f.SentCount > 470 {
+		t.Errorf("sent = %d, want ~400", f.SentCount)
+	}
+	if s.Stats.Delivered != f.SentCount {
+		t.Errorf("delivered %d != sent %d", s.Stats.Delivered, f.SentCount)
+	}
+}
+
+func TestConstantGapFlowExactCount(t *testing.T) {
+	ft, s := testTopo(t)
+	f := &Flow{
+		Src: ft.HostIDs[0], Dst: ft.HostIDs[1], Key: 1,
+		RatePPS: 100, Gaps: GapConstant, Sizes: FixedSize(500),
+		Start: 0, Stop: 1 * netsim.Second,
+	}
+	f.Install(s)
+	s.Run(2 * netsim.Second)
+	// 100 pps CBR for 1 s: exactly 100 packets (gap of 10 ms + 1 ns).
+	if f.SentCount != 100 {
+		t.Errorf("sent = %d, want 100", f.SentCount)
+	}
+}
+
+func TestBurstFlow(t *testing.T) {
+	ft, s := testTopo(t)
+	f := Burst(s, ft.HostIDs[0], ft.HostIDs[9], 999, 1500, 500*netsim.Millisecond, netsim.Second, 900)
+	s.Run(3 * netsim.Second)
+	if f.SentCount < 1400 || f.SentCount > 1600 {
+		t.Errorf("burst sent = %d, want ~1500", f.SentCount)
+	}
+}
+
+func TestFlowRespectsStartStop(t *testing.T) {
+	ft, s := testTopo(t)
+	first := netsim.Time(math.MaxInt64)
+	var last netsim.Time
+	hook := &timeCapture{first: &first, last: &last}
+	s2 := netsim.New(ft.Topology, netsim.NewECMPRouter(ft.Topology, 1), hook, netsim.DefaultConfig(), 9)
+	f := &Flow{
+		Src: ft.HostIDs[0], Dst: ft.HostIDs[3], Key: 4,
+		RatePPS: 500, Gaps: GapExponential,
+		Start: netsim.Second, Stop: 2 * netsim.Second,
+	}
+	f.Install(s2)
+	s2.Run(5 * netsim.Second)
+	if first < netsim.Second {
+		t.Errorf("first send at %v, before start", first)
+	}
+	if last >= 2*netsim.Second+50*netsim.Millisecond {
+		t.Errorf("last send at %v, after stop", last)
+	}
+	_ = s
+}
+
+type timeCapture struct {
+	netsim.NopHooks
+	first, last *netsim.Time
+}
+
+func (tc *timeCapture) OnDeliver(s *netsim.Simulator, _ topology.NodeID, pkt *netsim.Packet) {
+	if pkt.SendTime < *tc.first {
+		*tc.first = pkt.SendTime
+	}
+	if pkt.SendTime > *tc.last {
+		*tc.last = pkt.SendTime
+	}
+}
+
+func TestUWLikeSizesBimodal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var small, large, mid int
+	n := 10000
+	for i := 0; i < n; i++ {
+		sz := (UWLikeSizes{}).Sample(r)
+		switch {
+		case sz <= 200:
+			small++
+		case sz >= 1400:
+			large++
+		default:
+			mid++
+		}
+	}
+	if f := float64(small) / float64(n); f < 0.5 || f > 0.6 {
+		t.Errorf("small fraction = %.3f", f)
+	}
+	if f := float64(large) / float64(n); f < 0.35 || f > 0.45 {
+		t.Errorf("large fraction = %.3f", f)
+	}
+}
+
+func TestUWLikeSizesBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			sz := (UWLikeSizes{}).Sample(r)
+			if sz < 40 || sz > 1500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalRange(t *testing.T) {
+	fn := Diurnal(0.2, 1.0, 24*netsim.Second)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for ts := netsim.Time(0); ts < 24*netsim.Second; ts += 100 * netsim.Millisecond {
+		v := fn(ts)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < 0.19 || lo > 0.25 {
+		t.Errorf("min = %.3f, want ~0.2", lo)
+	}
+	if hi < 0.95 || hi > 1.01 {
+		t.Errorf("max = %.3f, want ~1.0", hi)
+	}
+	// Peak mid-period.
+	if fn(12*netsim.Second) < fn(1*netsim.Second) {
+		t.Error("diurnal should peak mid-period")
+	}
+}
+
+func TestLognormalGapMean(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	mean := 1e6 // 1 ms in ns
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += GapLognormal.sample(r, mean)
+	}
+	got := sum / float64(n)
+	if got < 0.85*mean || got > 1.15*mean {
+		t.Errorf("lognormal mean gap = %.0f, want ~%.0f", got, mean)
+	}
+}
+
+func TestRandomBackgroundEndpoints(t *testing.T) {
+	ft, s := testTopo(t)
+	flows := RandomBackground(s, ft, BackgroundConfig{
+		NumFlows: 30, RatePPS: 100, Gaps: GapExponential,
+		Start: 0, Stop: 100 * netsim.Millisecond,
+		CrossPodBias: 1.0,
+	}, 1000)
+	if len(flows) != 30 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	hostsPerPod := len(ft.HostIDs) / ft.K
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Error("self flow generated")
+		}
+		sp := srcIndex(ft.HostIDs, f.Src) / hostsPerPod
+		dp := srcIndex(ft.HostIDs, f.Dst) / hostsPerPod
+		if sp == dp {
+			t.Errorf("CrossPodBias=1 produced same-pod flow %d->%d", f.Src, f.Dst)
+		}
+	}
+	s.Run(200 * netsim.Millisecond)
+	if s.Stats.Sent == 0 {
+		t.Error("background generated no traffic")
+	}
+}
+
+func TestFlowKeyDisjointRanges(t *testing.T) {
+	ft, s := testTopo(t)
+	a := RandomBackground(s, ft, BackgroundConfig{NumFlows: 5, RatePPS: 10, Start: 0, Stop: netsim.Millisecond}, 0)
+	b := RandomBackground(s, ft, BackgroundConfig{NumFlows: 5, RatePPS: 10, Start: 0, Stop: netsim.Millisecond}, 100)
+	seen := map[netsim.FlowKey]bool{}
+	for _, f := range append(a, b...) {
+		if seen[f.Key] {
+			t.Errorf("duplicate flow key %d", f.Key)
+		}
+		seen[f.Key] = true
+	}
+}

@@ -1,0 +1,214 @@
+// Package mars is a Go reproduction of "MARS: Fault Localization in
+// Programmable Networking Systems with Low-cost In-Band Network Telemetry"
+// (ICPP 2023): path-aware on-demand telemetry, self-adaptive in-network
+// anomaly detection, and automatic multi-level root cause analysis, built
+// on a deterministic discrete-event network simulator.
+//
+// The package wires the full stack — fat-tree topology, ECMP forwarding,
+// the MARS P4-equivalent switch program, the controller with per-flow
+// reservoirs, and the FSM+SBFL analyzer — behind one System type:
+//
+//	sys, _ := mars.NewSystem(mars.DefaultConfig())
+//	sys.StartBackground(96, 220)
+//	gt := sys.InjectFault(mars.FaultDelay, 2*mars.Second, 1500*mars.Millisecond)
+//	sys.Run(4 * mars.Second)
+//	for i, c := range sys.Culprits() {
+//		fmt.Printf("#%d %v\n", i+1, c)
+//	}
+//	_ = gt
+//
+// The subsystems live in internal/ packages; this package re-exports the
+// identifiers a caller needs.
+package mars
+
+import (
+	"fmt"
+
+	"mars/internal/controlplane"
+	"mars/internal/dataplane"
+	"mars/internal/faults"
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/rca"
+	"mars/internal/topology"
+	"mars/internal/workload"
+)
+
+// Time re-exports the simulator's nanosecond clock.
+type Time = netsim.Time
+
+// Time unit constants.
+const (
+	Nanosecond  = netsim.Nanosecond
+	Microsecond = netsim.Microsecond
+	Millisecond = netsim.Millisecond
+	Second      = netsim.Second
+)
+
+// FaultKind selects one of the paper's five fault scenarios.
+type FaultKind = faults.Kind
+
+// The five fault scenarios of §5.2.
+const (
+	FaultMicroBurst  = faults.MicroBurst
+	FaultECMP        = faults.ECMPImbalance
+	FaultProcessRate = faults.ProcessRateDecrease
+	FaultDelay       = faults.Delay
+	FaultDrop        = faults.Drop
+)
+
+// Culprit is one entry of the ranked diagnosis output.
+type Culprit = rca.Culprit
+
+// FlowID is MARS's ⟨source switch, sink switch⟩ flow identity.
+type FlowID = dataplane.FlowID
+
+// GroundTruth describes an injected fault.
+type GroundTruth = faults.GroundTruth
+
+// Diagnosis is one on-demand telemetry collection.
+type Diagnosis = controlplane.Diagnosis
+
+// Config assembles a complete MARS deployment on a simulated fat-tree.
+type Config struct {
+	// FatTreeK is the fat-tree arity (even, >= 2). Default 4, the paper's
+	// Mininet topology.
+	FatTreeK int
+	// Seed drives all randomness (workload, faults, reservoirs).
+	Seed int64
+	// Sim sets the physical network parameters.
+	Sim netsim.Config
+	// Program configures the switch pipeline (epoch, PathID hash, ring).
+	Program dataplane.Config
+	// Controller configures threshold refresh and diagnosis windows.
+	Controller controlplane.Config
+	// RCA configures the analyzer.
+	RCA rca.Config
+}
+
+// DefaultConfig mirrors the evaluation setup: K=4 fat-tree at
+// software-switch scale, 100 ms telemetry epochs, 8-bit CRC16 PathIDs.
+func DefaultConfig() Config {
+	return Config{
+		FatTreeK: 4,
+		Seed:     1,
+		Sim: netsim.Config{
+			LinkBandwidthBps:     14_000_000,
+			HostLinkBandwidthBps: 100_000_000,
+			PropDelay:            10 * netsim.Microsecond,
+			SwitchProcDelay:      5 * netsim.Microsecond,
+			QueueCapacity:        128,
+		},
+		Program:    dataplane.DefaultProgramConfig(),
+		Controller: controlplane.DefaultConfig(),
+		RCA:        rca.DefaultConfig(),
+	}
+}
+
+// System is a running MARS deployment: simulator, data plane, controller,
+// and analyzer, plus accumulated diagnosis results.
+type System struct {
+	cfg Config
+
+	FT         *topology.FatTree
+	Sim        *netsim.Simulator
+	Router     *netsim.ECMPRouter
+	Program    *dataplane.Program
+	Controller *controlplane.Controller
+	Analyzer   *rca.Analyzer
+	Paths      *pathid.Table
+
+	injector *faults.Injector
+	lists    [][]rca.Culprit
+	// Diagnoses collects every on-demand collection for inspection.
+	Diagnoses []Diagnosis
+	// OnDiagnosis, if set, observes each diagnosis as it happens.
+	OnDiagnosis func(Diagnosis, []Culprit)
+}
+
+// NewSystem builds and wires a full deployment.
+func NewSystem(cfg Config) (*System, error) {
+	ft, err := topology.NewFatTree(cfg.FatTreeK)
+	if err != nil {
+		return nil, fmt.Errorf("mars: %w", err)
+	}
+	table, err := pathid.BuildTable(cfg.Program.PathCfg, ft.Topology, ft.AllEdgePairPaths())
+	if err != nil {
+		return nil, fmt.Errorf("mars: building PathID table: %w", err)
+	}
+	prog := dataplane.New(cfg.Program, ft.Topology, table, nil)
+	router := netsim.NewECMPRouter(ft.Topology, uint64(cfg.Seed))
+	sim := netsim.New(ft.Topology, router, prog, cfg.Sim, cfg.Seed)
+	ccfg := cfg.Controller
+	ccfg.Seed = cfg.Seed
+	ctrl := controlplane.New(ccfg, sim, prog)
+	prog.Notifier = ctrl
+	ctrl.Start()
+
+	s := &System{
+		cfg: cfg, FT: ft, Sim: sim, Router: router,
+		Program: prog, Controller: ctrl, Paths: table,
+		injector: faults.NewInjector(sim, ft, router),
+	}
+	s.Analyzer = rca.New(cfg.RCA, table, ctrl)
+	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
+		s.Diagnoses = append(s.Diagnoses, d)
+		list := s.Analyzer.Analyze(d)
+		if len(list) > 0 {
+			s.lists = append(s.lists, list)
+		}
+		if s.OnDiagnosis != nil {
+			s.OnDiagnosis(d, list)
+		}
+	}
+	return s, nil
+}
+
+// StartBackground installs a balanced cross-pod background mesh of
+// numFlows flows at ratePPS each, running for the whole simulation.
+func (s *System) StartBackground(numFlows int, ratePPS float64) {
+	workload.RandomBackground(s.Sim, s.FT, workload.BackgroundConfig{
+		NumFlows:      numFlows,
+		RatePPS:       ratePPS,
+		RateJitter:    0.2,
+		Gaps:          workload.GapExponential,
+		Start:         0,
+		Stop:          0, // run forever
+		CrossPodBias:  1.0,
+		RoundRobinSrc: true,
+		RoundRobinDst: true,
+	}, 1)
+}
+
+// InjectFault schedules one of the five fault scenarios and returns its
+// ground truth (for validation and experiments).
+func (s *System) InjectFault(kind FaultKind, start, dur Time) GroundTruth {
+	return s.injector.Inject(kind, start, dur)
+}
+
+// Run advances the simulation to the given time.
+func (s *System) Run(until Time) { s.Sim.Run(until) }
+
+// Culprits returns the merged, ranked culprit list accumulated across all
+// diagnoses so far.
+func (s *System) Culprits() []Culprit {
+	return rca.MergeRanked(s.lists)
+}
+
+// ThresholdOf exposes the controller's current dynamic threshold for a
+// flow (for inspection and examples).
+func (s *System) ThresholdOf(flow FlowID) Time {
+	return s.Controller.ThresholdOf(flow)
+}
+
+// TelemetryOverheadBytes returns the in-band header bytes added to links.
+func (s *System) TelemetryOverheadBytes() int64 {
+	return s.Program.Stats.TelemetryLinkBytes
+}
+
+// DiagnosisOverheadBytes returns control-channel bytes (notifications,
+// collections, refreshes, threshold pushes).
+func (s *System) DiagnosisOverheadBytes() int64 {
+	b := s.Controller.Bytes
+	return b.DiagnosisBytes() + b.RefreshBytes + b.ThresholdPushBytes
+}

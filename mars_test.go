@@ -1,0 +1,91 @@
+package mars
+
+import (
+	"testing"
+)
+
+func TestSystemEndToEndDelayFault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StartBackground(96, 220)
+	gt := sys.InjectFault(FaultDelay, 2*Second, 1500*Millisecond)
+	sys.Run(4 * Second)
+
+	if len(sys.Diagnoses) == 0 {
+		t.Fatal("no diagnoses collected")
+	}
+	culprits := sys.Culprits()
+	if len(culprits) == 0 {
+		t.Fatal("no culprits produced")
+	}
+	found := -1
+	for i, c := range culprits {
+		if c.ContainsSwitch(gt.Switch) {
+			found = i + 1
+			break
+		}
+	}
+	if found < 1 || found > 5 {
+		t.Errorf("true switch s%d ranked %d; list head: %v", gt.Switch, found, culprits[:min(3, len(culprits))])
+	}
+}
+
+func TestSystemRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FatTreeK = 3
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("expected error for odd K")
+	}
+}
+
+func TestSystemOverheadCountersMove(t *testing.T) {
+	cfg := DefaultConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StartBackground(24, 100)
+	sys.Run(1 * Second)
+	if sys.TelemetryOverheadBytes() == 0 {
+		t.Error("no telemetry overhead counted")
+	}
+	// Refresh bytes should accrue even without anomalies.
+	if sys.DiagnosisOverheadBytes() == 0 {
+		t.Error("no control-channel bytes counted")
+	}
+}
+
+func TestSystemThresholdBecomesDynamic(t *testing.T) {
+	cfg := DefaultConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StartBackground(96, 220)
+	sys.Run(2 * Second)
+	dynamic := 0
+	for _, src := range sys.FT.EdgeIDs {
+		for _, dst := range sys.FT.EdgeIDs {
+			if src == dst {
+				continue
+			}
+			if th := sys.ThresholdOf(FlowID{Src: src, Sink: dst}); th < cfg.Program.DefaultThreshold {
+				dynamic++
+			}
+		}
+	}
+	if dynamic == 0 {
+		t.Error("no flow obtained a dynamic threshold after warmup")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
