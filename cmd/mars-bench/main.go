@@ -7,7 +7,8 @@
 //	mars-bench -exp all
 //
 // Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
-// pathid, scale, ablation-sbfl, ablation-fsmlen, ablation-miner, ablation-cause.
+// pathid, scale, ctrlchan, ablation-sbfl, ablation-fsmlen, ablation-miner,
+// ablation-cause.
 package main
 
 import (
@@ -61,6 +62,9 @@ func main() {
 		"scale": func() {
 			fmt.Print(experiments.RunScale([]int{4, 6, 8}).Render())
 		},
+		"ctrlchan": func() {
+			fmt.Print(experiments.RunCtrlChan(*trials/2+1, *seed).Render())
+		},
 		"ablation-sbfl": func() {
 			fmt.Print(experiments.RunAblationSBFL(*trials/2+1, *seed).Render())
 		},
@@ -75,8 +79,8 @@ func main() {
 		},
 	}
 	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
-		"fig10", "fig11", "pathid", "scale", "ablation-sbfl", "ablation-fsmlen",
-		"ablation-miner", "ablation-cause"}
+		"fig10", "fig11", "pathid", "scale", "ctrlchan", "ablation-sbfl",
+		"ablation-fsmlen", "ablation-miner", "ablation-cause"}
 
 	if *exp == "all" {
 		for _, name := range order {

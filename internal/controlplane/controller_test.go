@@ -128,9 +128,12 @@ func TestNotificationTriggersDiagnosis(t *testing.T) {
 
 func TestResponseWindowLimitsDiagnoses(t *testing.T) {
 	e := newEnv(t, 5)
-	count := 0
-	e.ctrl.OnDiagnosis = func(d Diagnosis) { count++ }
-	// Fire notifications directly, 100 in 100 ms; window is 500 ms.
+	var diags []Diagnosis
+	e.ctrl.OnDiagnosis = func(d Diagnosis) { diags = append(diags, d) }
+	// Fire notifications directly, 100 in 100 ms; window is 500 ms. The
+	// first fires immediately; the other 99 land inside the window and are
+	// suppressed, with the newest retained — it must fire exactly one
+	// follow-up diagnosis when the window reopens at t=500 ms, not vanish.
 	for i := 0; i < 100; i++ {
 		at := netsim.Time(i) * netsim.Millisecond
 		e.sim.At(at, func() {
@@ -138,8 +141,17 @@ func TestResponseWindowLimitsDiagnoses(t *testing.T) {
 		})
 	}
 	e.sim.Run(netsim.Second)
-	if count != 1 {
-		t.Errorf("diagnoses = %d, want 1 within one window", count)
+	if len(diags) != 2 {
+		t.Fatalf("diagnoses = %d, want 2 (one per window: initial + flushed)", len(diags))
+	}
+	if got := diags[1].Trigger.Time; got != 99*netsim.Millisecond {
+		t.Errorf("flushed trigger time = %v, want the newest suppressed (99ms)", got)
+	}
+	if diags[1].Time != 500*netsim.Millisecond {
+		t.Errorf("flushed diagnosis at %v, want window reopen (500ms)", diags[1].Time)
+	}
+	if e.ctrl.Bytes.SuppressedNotifications != 99 {
+		t.Errorf("suppressed = %d, want 99", e.ctrl.Bytes.SuppressedNotifications)
 	}
 	if e.ctrl.Bytes.NotificationBytes != 100*dataplane.NotificationBytes {
 		t.Errorf("notification bytes = %d", e.ctrl.Bytes.NotificationBytes)

@@ -9,6 +9,7 @@ import (
 	"mars/internal/baselines/spidermon"
 	"mars/internal/baselines/syndb"
 	"mars/internal/controlplane"
+	"mars/internal/ctrlchan"
 	"mars/internal/dataplane"
 	"mars/internal/faults"
 	"mars/internal/netsim"
@@ -62,6 +63,17 @@ type TrialConfig struct {
 	Total      netsim.Time
 	// SimCfg overrides the physical parameters (zero = scaled defaults).
 	SimCfg *netsim.Config
+
+	// CtrlLossy runs MARS over the realistic control channel model
+	// (1 ms ± jitter latency, duplication, reordering) instead of the
+	// perfect synchronous one, with CtrlLoss symmetric message loss.
+	// Only the MARS trial uses these: the baselines have no equivalent
+	// explicit control channel to degrade.
+	CtrlLossy bool
+	CtrlLoss  float64
+	// CtrlNoRetry zeroes the controller's retry budget (the ablation the
+	// ctrlchan experiment compares against).
+	CtrlNoRetry bool
 }
 
 // DefaultTrialConfig sizes a trial so the five fault signatures are
@@ -105,6 +117,14 @@ type TrialResult struct {
 	DiagnosisBytes int64
 	// TotalLinkBytes is all traffic serialized, for normalization.
 	TotalLinkBytes int64
+	// DiagLatency is the delay from fault start to the first completed
+	// diagnosis (MARS trials; valid only when DiagDetected).
+	DiagLatency  netsim.Time
+	DiagDetected bool
+	// Diagnoses / PartialDiagnoses count completed collections after the
+	// fault started and how many finished with missing sinks.
+	Diagnoses        int64
+	PartialDiagnoses int64
 }
 
 // buildNet constructs the shared substrate of a trial.
@@ -176,18 +196,35 @@ func runMARSTrial(tc TrialConfig) TrialResult {
 		cfg = *tc.SimCfg
 	}
 	sim := netsim.New(ft.Topology, router, prog, cfg, tc.Seed)
+	chcfg := ctrlchan.Config{Seed: tc.Seed + 7}
+	if tc.CtrlLossy {
+		chcfg = ctrlchan.Lossy(tc.CtrlLoss, tc.Seed+7)
+	}
+	ch := ctrlchan.New(sim, chcfg)
 	ccfg := controlplane.DefaultConfig()
 	ccfg.Seed = tc.Seed
-	ctrl := controlplane.New(ccfg, sim, prog)
+	if tc.CtrlNoRetry {
+		ccfg.MaxRetries = 0
+	}
+	ctrl := controlplane.NewWithChannel(ccfg, sim, prog, ch)
 	prog.Notifier = ctrl
 	ctrl.Start()
 
 	analyzer := rca.New(rca.DefaultConfig(), table, ctrl)
 	var lists [][]rca.Culprit
 	detected := false
+	var firstDiag netsim.Time
+	var diagnoses, partial int64
 	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
 		if d.Time >= tc.FaultStart {
-			detected = true
+			if !detected {
+				detected = true
+				firstDiag = d.Time - tc.FaultStart
+			}
+			diagnoses++
+			if d.Partial() {
+				partial++
+			}
 			lists = append(lists, analyzer.Analyze(d))
 		}
 	}
@@ -195,6 +232,7 @@ func runMARSTrial(tc TrialConfig) TrialResult {
 	ftree := ft
 	installWorkload(tc, sim, ftree)
 	inj := faults.NewInjector(sim, ftree, router)
+	inj.Chan = ch
 	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
 	sim.Run(tc.Total)
 
@@ -211,6 +249,8 @@ func runMARSTrial(tc TrialConfig) TrialResult {
 		TelemetryBytes: prog.Stats.TelemetryLinkBytes,
 		DiagnosisBytes: ctrl.Bytes.DiagnosisBytes() + ctrl.Bytes.RefreshBytes + ctrl.Bytes.ThresholdPushBytes,
 		TotalLinkBytes: totalLinkBytes(sim),
+		DiagLatency:    firstDiag, DiagDetected: detected,
+		Diagnoses: diagnoses, PartialDiagnoses: partial,
 	}
 }
 

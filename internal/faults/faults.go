@@ -10,12 +10,18 @@
 //   - Delay: switch-level extra latency outside the queue (Chaosblade-style
 //     interface injection).
 //   - Drop: probabilistic loss on a random inter-switch port.
+//
+// A sixth, beyond-the-paper scenario degrades the monitoring system
+// itself: CtrlChanDegrade makes the controller↔switch control channel
+// lossy, exercising the control plane's retry and degraded-diagnosis
+// machinery (see internal/ctrlchan).
 package faults
 
 import (
 	"fmt"
 	"math/rand"
 
+	"mars/internal/ctrlchan"
 	"mars/internal/netsim"
 	"mars/internal/topology"
 	"mars/internal/workload"
@@ -35,9 +41,18 @@ const (
 	Delay
 	// Drop is unanticipated packet loss at a port.
 	Drop
+	// CtrlChanDegrade is the sixth, control-plane-level scenario (this
+	// repository's addition): the controller↔switch channel itself loses
+	// messages, so notifications, collections, refresh pulls, and
+	// threshold pushes all become unreliable while the data plane keeps
+	// forwarding normally.
+	CtrlChanDegrade
 )
 
-// Kinds lists all scenarios in the paper's Table 1 order.
+// Kinds lists all scenarios in the paper's Table 1 order. CtrlChanDegrade
+// is not part of the Table 1 suite — it degrades the monitoring system
+// rather than the monitored network, and is swept by the ctrlchan
+// experiment instead.
 func Kinds() []Kind {
 	return []Kind{MicroBurst, ECMPImbalance, ProcessRateDecrease, Delay, Drop}
 }
@@ -54,6 +69,8 @@ func (k Kind) String() string {
 		return "delay"
 	case Drop:
 		return "drop"
+	case CtrlChanDegrade:
+		return "ctrl-chan"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -72,6 +89,9 @@ type GroundTruth struct {
 	// BurstSrcEdge/BurstSinkEdge identify the offending flow for
 	// micro-bursts.
 	BurstSrcEdge, BurstSinkEdge topology.NodeID
+	// CtrlLoss is the control-channel loss probability for
+	// CtrlChanDegrade; 0 otherwise.
+	CtrlLoss float64
 	// Start and End bound the fault's active window.
 	Start, End netsim.Time
 }
@@ -82,6 +102,8 @@ func (g GroundTruth) String() string {
 		return fmt.Sprintf("%v flow <s%d,s%d> [%v,%v]", g.Kind, g.BurstSrcEdge, g.BurstSinkEdge, g.Start, g.End)
 	case ProcessRateDecrease, Drop:
 		return fmt.Sprintf("%v s%d port %d [%v,%v]", g.Kind, g.Switch, g.Port, g.Start, g.End)
+	case CtrlChanDegrade:
+		return fmt.Sprintf("%v loss=%.0f%% [%v,%v]", g.Kind, 100*g.CtrlLoss, g.Start, g.End)
 	default:
 		return fmt.Sprintf("%v s%d [%v,%v]", g.Kind, g.Switch, g.Start, g.End)
 	}
@@ -92,7 +114,11 @@ type Injector struct {
 	Sim    *netsim.Simulator
 	FT     *topology.FatTree
 	Router *netsim.ECMPRouter
-	rng    *rand.Rand
+	// Chan is the control channel degraded by CtrlChanDegrade; leaving it
+	// nil (a deployment without an explicit channel) makes that scenario
+	// unavailable.
+	Chan *ctrlchan.Channel
+	rng  *rand.Rand
 }
 
 // NewInjector creates an injector drawing randomness from the simulator's
@@ -182,7 +208,34 @@ func (in *Injector) Inject(kind Kind, start, dur netsim.Time) GroundTruth {
 		p := 0.4 + in.rng.Float64()*0.5
 		in.Sim.At(start, func() { in.Sim.SetPortDropProb(sw, port, p) })
 		in.Sim.At(gt.End, func() { in.Sim.SetPortDropProb(sw, port, 0) })
+
+	case CtrlChanDegrade:
+		// A randomly drawn loss rate in the 10-30% band the ctrlchan
+		// experiment sweeps; use InjectCtrlChanLoss for an exact rate.
+		return in.InjectCtrlChanLoss(start, gt.End-start, 0.1+in.rng.Float64()*0.2)
 	}
+	return gt
+}
+
+// InjectCtrlChanLoss degrades the control channel to the given symmetric
+// loss probability over [start, start+dur]. The data plane is untouched:
+// only the monitoring system's own messaging suffers.
+func (in *Injector) InjectCtrlChanLoss(start, dur netsim.Time, loss float64) GroundTruth {
+	if in.Chan == nil {
+		panic("faults: CtrlChanDegrade requires an attached ctrlchan.Channel")
+	}
+	gt := GroundTruth{
+		Kind: CtrlChanDegrade, Switch: -1, Port: -1,
+		CtrlLoss: loss, Start: start, End: start + dur,
+	}
+	in.Sim.At(start, func() {
+		in.Chan.SetLoss(ctrlchan.ToController, loss)
+		in.Chan.SetLoss(ctrlchan.ToSwitch, loss)
+	})
+	in.Sim.At(gt.End, func() {
+		in.Chan.SetLoss(ctrlchan.ToController, 0)
+		in.Chan.SetLoss(ctrlchan.ToSwitch, 0)
+	})
 	return gt
 }
 

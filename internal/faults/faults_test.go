@@ -3,6 +3,7 @@ package faults
 import (
 	"testing"
 
+	"mars/internal/ctrlchan"
 	"mars/internal/netsim"
 	"mars/internal/topology"
 	"mars/internal/workload"
@@ -185,4 +186,49 @@ func TestDeterministicInjection(t *testing.T) {
 	if a.Switch != b.Switch || a.Port != b.Port {
 		t.Errorf("same seed produced different faults: %v vs %v", a, b)
 	}
+}
+
+func TestCtrlChanDegradeSetsAndRevertsLoss(t *testing.T) {
+	inj, sim, _ := setup(t, 6)
+	ch := ctrlchan.New(sim, ctrlchan.Config{Seed: 6})
+	inj.Chan = ch
+	gt := inj.InjectCtrlChanLoss(100*netsim.Millisecond, netsim.Second, 0.25)
+	if gt.Kind != CtrlChanDegrade || gt.CtrlLoss != 0.25 || gt.Switch != -1 {
+		t.Fatalf("ground truth = %+v", gt)
+	}
+	lossAt := func(at netsim.Time) (up, down float64) {
+		sim.Run(at)
+		return ch.Cfg.ToController.Loss, ch.Cfg.ToSwitch.Loss
+	}
+	if up, down := lossAt(50 * netsim.Millisecond); up != 0 || down != 0 {
+		t.Errorf("pre-fault loss = %v/%v", up, down)
+	}
+	if up, down := lossAt(500 * netsim.Millisecond); up != 0.25 || down != 0.25 {
+		t.Errorf("in-fault loss = %v/%v, want 0.25 both ways", up, down)
+	}
+	if up, down := lossAt(2 * netsim.Second); up != 0 || down != 0 {
+		t.Errorf("post-fault loss = %v/%v, want reverted", up, down)
+	}
+}
+
+func TestCtrlChanDegradeRandomBand(t *testing.T) {
+	inj, sim, _ := setup(t, 7)
+	inj.Chan = ctrlchan.New(sim, ctrlchan.Config{Seed: 7})
+	gt := inj.Inject(CtrlChanDegrade, 0, netsim.Second)
+	if gt.CtrlLoss < 0.1 || gt.CtrlLoss > 0.3 {
+		t.Errorf("random loss = %v, want in [0.1, 0.3]", gt.CtrlLoss)
+	}
+	if gt.String() == "" || gt.Kind.String() != "ctrl-chan" {
+		t.Errorf("stringers: kind=%q gt=%q", gt.Kind, gt)
+	}
+}
+
+func TestCtrlChanDegradeRequiresChannel(t *testing.T) {
+	inj, _, _ := setup(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("injecting ctrl-chan degradation without a channel must panic")
+		}
+	}()
+	inj.Inject(CtrlChanDegrade, 0, netsim.Second)
 }

@@ -1,0 +1,45 @@
+package rca
+
+import (
+	"strings"
+	"testing"
+
+	"mars/internal/topology"
+)
+
+func TestCulpritConfidenceString(t *testing.T) {
+	c := Culprit{Cause: CauseDelay, Level: LevelSwitch,
+		Location: []topology.NodeID{3}, Score: 1.5}
+	if s := c.String(); strings.Contains(s, "conf=") {
+		t.Errorf("full-confidence culprit annotated: %q", s)
+	}
+	c.Confidence = 1
+	if s := c.String(); strings.Contains(s, "conf=") {
+		t.Errorf("confidence 1 annotated: %q", s)
+	}
+	c.Confidence = 0.75
+	if s := c.String(); !strings.Contains(s, "conf=0.75") {
+		t.Errorf("partial-coverage culprit missing annotation: %q", s)
+	}
+}
+
+func TestMergeKeepsBestConfidence(t *testing.T) {
+	// The same culprit seen by a partial diagnosis (coverage 0.5) and a
+	// complete one (1.0) must keep the better coverage after merging.
+	mk := func(conf float64) Culprit {
+		return Culprit{Cause: CauseDelay, Level: LevelSwitch,
+			Location: []topology.NodeID{7}, Score: 1, Confidence: conf}
+	}
+	merged := MergeRanked([][]Culprit{{mk(0.5)}, {mk(1.0)}})
+	if len(merged) != 1 {
+		t.Fatalf("merged = %d culprits, want 1", len(merged))
+	}
+	if merged[0].Confidence != 1.0 {
+		t.Errorf("confidence = %v, want the best (1.0)", merged[0].Confidence)
+	}
+	// Order independence: partial-after-complete keeps 1.0 too.
+	merged = MergeRanked([][]Culprit{{mk(1.0)}, {mk(0.5)}})
+	if merged[0].Confidence != 1.0 {
+		t.Errorf("confidence = %v after reversed merge, want 1.0", merged[0].Confidence)
+	}
+}

@@ -93,14 +93,23 @@ type Culprit struct {
 	Flow dataplane.FlowID
 	// Score orders the list (higher = more suspicious).
 	Score float64
+	// Confidence is the diagnosis-data coverage behind this culprit: 1
+	// when every contacted sink answered the collection, lower when the
+	// diagnosis was partial (degraded control channel). Merging across
+	// diagnoses keeps the best coverage that supported the culprit.
+	Confidence float64
 }
 
 func (c Culprit) String() string {
 	loc := topology.Path(c.Location).String()
-	if c.Level == LevelFlow {
-		return fmt.Sprintf("%.3f %s %v at %s", c.Score, c.Cause, c.Flow, loc)
+	conf := ""
+	if c.Confidence > 0 && c.Confidence < 1 {
+		conf = fmt.Sprintf(" conf=%.2f", c.Confidence)
 	}
-	return fmt.Sprintf("%.3f %s (%s) at %s", c.Score, c.Cause, c.Level, loc)
+	if c.Level == LevelFlow {
+		return fmt.Sprintf("%.3f %s %v at %s%s", c.Score, c.Cause, c.Flow, loc, conf)
+	}
+	return fmt.Sprintf("%.3f %s (%s) at %s%s", c.Score, c.Cause, c.Level, loc, conf)
 }
 
 // ContainsSwitch reports whether the culprit blames sw.
@@ -241,14 +250,23 @@ func (a *Analyzer) Analyze(d controlplane.Diagnosis) []Culprit {
 		// The data plane explicitly flagged loss: report both views.
 		runDrop = true
 	}
-	if !runDrop {
-		return lat
+	out := lat
+	if runDrop {
+		drop := a.analyzeDrop(d)
+		if len(lat) == 0 {
+			out = drop
+		} else {
+			out = MergeRanked([][]Culprit{lat, drop})
+		}
 	}
-	drop := a.analyzeDrop(d)
-	if len(lat) == 0 {
-		return drop
+	// Degraded mode: a partial collection (missing sinks) still yields a
+	// ranking, but every culprit carries the data coverage behind it so
+	// the operator — and the merge across diagnoses — can weigh it.
+	conf := d.Coverage()
+	for i := range out {
+		out[i].Confidence = conf
 	}
-	return MergeRanked([][]Culprit{lat, drop})
+	return out
 }
 
 // dropMargin is the count-mismatch tolerance: absolute floor plus a

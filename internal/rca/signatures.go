@@ -648,6 +648,11 @@ func mergeOnce(cs []Culprit) []Culprit {
 		}
 		if m, ok := merged[k]; ok {
 			m.Score += c.Score
+			// A culprit confirmed by a better-covered diagnosis keeps
+			// that diagnosis's confidence.
+			if c.Confidence > m.Confidence {
+				m.Confidence = c.Confidence
+			}
 		} else {
 			cc := c
 			merged[k] = &cc

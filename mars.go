@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"mars/internal/controlplane"
+	"mars/internal/ctrlchan"
 	"mars/internal/dataplane"
 	"mars/internal/faults"
 	"mars/internal/netsim"
@@ -48,13 +49,15 @@ const (
 // FaultKind selects one of the paper's five fault scenarios.
 type FaultKind = faults.Kind
 
-// The five fault scenarios of §5.2.
+// The five fault scenarios of §5.2, plus the control-channel degradation
+// scenario this repository adds.
 const (
 	FaultMicroBurst  = faults.MicroBurst
 	FaultECMP        = faults.ECMPImbalance
 	FaultProcessRate = faults.ProcessRateDecrease
 	FaultDelay       = faults.Delay
 	FaultDrop        = faults.Drop
+	FaultCtrlChan    = faults.CtrlChanDegrade
 )
 
 // Culprit is one entry of the ranked diagnosis output.
@@ -82,6 +85,10 @@ type Config struct {
 	Program dataplane.Config
 	// Controller configures threshold refresh and diagnosis windows.
 	Controller controlplane.Config
+	// CtrlChan configures the controller↔switch control channel. The
+	// zero value is a perfect channel (synchronous, lossless), matching
+	// the paper's idealized evaluation setup.
+	CtrlChan ctrlchan.Config
 	// RCA configures the analyzer.
 	RCA rca.Config
 }
@@ -115,6 +122,7 @@ type System struct {
 	Router     *netsim.ECMPRouter
 	Program    *dataplane.Program
 	Controller *controlplane.Controller
+	CtrlChan   *ctrlchan.Channel
 	Analyzer   *rca.Analyzer
 	Paths      *pathid.Table
 
@@ -141,15 +149,21 @@ func NewSystem(cfg Config) (*System, error) {
 	sim := netsim.New(ft.Topology, router, prog, cfg.Sim, cfg.Seed)
 	ccfg := cfg.Controller
 	ccfg.Seed = cfg.Seed
-	ctrl := controlplane.New(ccfg, sim, prog)
+	chcfg := cfg.CtrlChan
+	if chcfg.Seed == 0 {
+		chcfg.Seed = cfg.Seed
+	}
+	ch := ctrlchan.New(sim, chcfg)
+	ctrl := controlplane.NewWithChannel(ccfg, sim, prog, ch)
 	prog.Notifier = ctrl
 	ctrl.Start()
 
 	s := &System{
 		cfg: cfg, FT: ft, Sim: sim, Router: router,
-		Program: prog, Controller: ctrl, Paths: table,
+		Program: prog, Controller: ctrl, CtrlChan: ch, Paths: table,
 		injector: faults.NewInjector(sim, ft, router),
 	}
+	s.injector.Chan = ch
 	s.Analyzer = rca.New(cfg.RCA, table, ctrl)
 	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
 		s.Diagnoses = append(s.Diagnoses, d)

@@ -2,6 +2,8 @@ package mars
 
 import (
 	"testing"
+
+	"mars/internal/ctrlchan"
 )
 
 func TestSystemEndToEndDelayFault(t *testing.T) {
@@ -88,4 +90,67 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestLossyControlChannelDeterminism(t *testing.T) {
+	// Two identical seeded runs through a 20%-lossy control channel must
+	// agree exactly: same culprit list, same control-plane byte counts,
+	// same channel traffic. The channel draws from its own seeded source,
+	// so its faults are part of the reproducible event stream.
+	run := func() *System {
+		cfg := DefaultConfig()
+		cfg.Seed = 13
+		cfg.CtrlChan = ctrlchan.Lossy(0.2, 42)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.StartBackground(48, 200)
+		sys.InjectFault(FaultDelay, Second, Second)
+		sys.Run(3 * Second)
+		return sys
+	}
+	a, b := run(), run()
+	ca, cb := a.Culprits(), b.Culprits()
+	if len(ca) != len(cb) {
+		t.Fatalf("culprit counts differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i].String() != cb[i].String() {
+			t.Errorf("culprit %d differs: %v vs %v", i, ca[i], cb[i])
+		}
+	}
+	if a.Controller.Bytes != b.Controller.Bytes {
+		t.Errorf("byte accounting differs:\n%+v\n%+v", a.Controller.Bytes, b.Controller.Bytes)
+	}
+	if a.CtrlChan.Stats != b.CtrlChan.Stats {
+		t.Errorf("channel stats differ:\n%+v\n%+v", a.CtrlChan.Stats, b.CtrlChan.Stats)
+	}
+	if a.CtrlChan.Stats.ToSwitch.Lost == 0 && a.CtrlChan.Stats.ToController.Lost == 0 {
+		t.Error("20% loss lost nothing; channel not engaged")
+	}
+}
+
+func TestPerfectChannelAddsNoRequestTraffic(t *testing.T) {
+	// With the default (perfect) channel nothing times out, so the retry
+	// machinery must stay cold: no retries, no duplicates, no partials.
+	cfg := DefaultConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StartBackground(48, 200)
+	sys.InjectFault(FaultDelay, Second, Second)
+	sys.Run(3 * Second)
+	bt := sys.Controller.Bytes
+	if bt.Retries != 0 || bt.DuplicateNotifications != 0 || bt.PartialDiagnoses != 0 {
+		t.Errorf("perfect channel exercised fault machinery: %+v", bt)
+	}
+	st := sys.CtrlChan.Stats
+	if st.ToSwitch.Lost != 0 || st.ToController.Lost != 0 {
+		t.Errorf("perfect channel lost messages: %+v", st)
+	}
+	if st.ToSwitch.Sent == 0 || st.ToController.Sent == 0 {
+		t.Error("control traffic did not flow through the channel")
+	}
 }
