@@ -85,9 +85,9 @@ func main() {
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("=== %s ===\n", name)
-			start := time.Now()
+			start := time.Now() //mars:wallclock wall-time progress reporting for the operator
 			runners[name]()
-			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds()) //mars:wallclock wall-time progress reporting for the operator
 		}
 		return
 	}

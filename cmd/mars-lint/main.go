@@ -1,0 +1,123 @@
+// mars-lint runs the repo's determinism & wire-invariant static-analysis
+// suite (internal/analysis). It is stdlib-only and builds offline.
+//
+// Usage:
+//
+//	mars-lint ./...              # lint the whole module
+//	mars-lint internal/rca       # lint one directory as a bare package
+//	mars-lint -json ./...        # machine-readable findings
+//	mars-lint -list              # describe the analyzers
+//
+// Exit codes: 0 clean, 1 findings, 2 load or usage error — suitable for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mars/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			suppress := "not suppressible"
+			if a.Directive != "" {
+				suppress = "suppress with //mars:" + a.Directive
+			}
+			fmt.Printf("%-10s %s (%s)\n", a.Name, a.Doc, suppress)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "mars-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			root, err := moduleRoot()
+			if err != nil {
+				fail(err)
+			}
+			loaded, err := analysis.LoadModule(root)
+			if err != nil {
+				fail(err)
+			}
+			pkgs = append(pkgs, loaded...)
+			continue
+		}
+		pkg, err := analysis.LoadDir(arg)
+		if err != nil {
+			fail(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "mars-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("mars-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mars-lint:", err)
+	os.Exit(2)
+}

@@ -8,9 +8,9 @@ package main
 
 import (
 	"fmt"
-	"sort"
 
 	"mars"
+	"mars/internal/det"
 )
 
 func main() {
@@ -38,18 +38,13 @@ func main() {
 			}
 		}
 	}
-	var epochs []int
-	for e := range counts {
-		epochs = append(epochs, int(e))
-	}
-	sort.Ints(epochs)
 	fmt.Println("\nburst flow per-epoch packet counts (100 ms epochs):")
-	for _, e := range epochs {
+	for _, e := range det.Keys(counts) {
 		bar := ""
-		for i := uint32(0); i < counts[uint32(e)]/10; i++ {
+		for i := uint32(0); i < counts[e]/10; i++ {
 			bar += "#"
 		}
-		fmt.Printf("  epoch %3d %4d %s\n", e, counts[uint32(e)], bar)
+		fmt.Printf("  epoch %3d %4d %s\n", e, counts[e], bar)
 	}
 
 	fmt.Println("\nranked culprits:")

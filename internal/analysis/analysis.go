@@ -1,0 +1,233 @@
+// Package analysis is mars-lint's static-analysis engine: a stdlib-only
+// (go/parser + go/ast + go/types) framework plus the repo-specific
+// analyzers that machine-check MARS's determinism and wire invariants.
+// Nothing here imports outside the standard library, so the suite builds
+// and runs offline.
+//
+// The suite exists because MARS's evaluation rests on reproducible seeded
+// runs: the PathID hash chain, the penalty-factor reservoir, and the FSM
+// mining + SBFL ranking must produce byte-identical culprit lists for a
+// given seed. The analyzers encode the invariants that keep that true:
+//
+//   - detrand:   no ambient wall-clock or global-RNG calls in
+//     deterministic code (suppress: //mars:wallclock)
+//   - mapiter:   no order-sensitive writes inside `range` over a map
+//     (suppress: //mars:mapiter-ok)
+//   - seedflow:  rand.NewSource arguments derive from config/seed
+//     parameters, never literals (suppress: //mars:fixedseed)
+//   - wirewidth: encode/decode symmetry and field-width accounting for
+//     the wire formats in wire.go (11-byte telemetry payload)
+//   - lockheld:  fields documented "guarded by <mu>" are only touched
+//     under the lock (suppress: //mars:locked on the caller-holds-lock
+//     function)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check of the suite.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line description shown by mars-lint -list.
+	Doc string
+	// Directive, when non-empty, names the //mars:<directive> suppression:
+	// a finding whose line (or the line above it) carries the directive is
+	// dropped by the driver.
+	Directive string
+	Run       func(p *Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shorthand for the package's type information.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (nil if unknown).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Suppressed reports whether pos's line or the line directly above carries
+// the named //mars: directive.
+func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
+	position := p.Pkg.Fset.Position(pos)
+	return p.Pkg.hasDirective(position.Filename, position.Line, directive)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Mapiter, Seedflow, Wirewidth, Lockheld}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by position. Findings suppressed by their analyzer's
+// directive are dropped here, so every analyzer gets uniform suppression
+// semantics for free.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass.report = func(d Diagnostic) {
+				if a.Directive != "" && pkg.hasDirective(d.File, d.Line, a.Directive) {
+					return
+				}
+				out = append(out, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// rootIdent unwraps selector/index/paren/star chains to the base
+// identifier: c.Bytes.X -> c, fs.pathCounts[k] -> fs, (*p).f -> p.
+// Returns nil when the base is not a plain identifier (calls, literals).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, or nil (calls
+// through function values, builtins, conversions).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := p.ObjectOf(id).(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if f.Pkg().Path() != pkgPath || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// exprString renders an expression compactly for messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	s := b.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[...]")
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, x.X)
+	case *ast.CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteString("(...)")
+	default:
+		b.WriteString("expr")
+	}
+}

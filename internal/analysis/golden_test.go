@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches one `// want` expectation comment; the payload is one or
+// more backquoted regexes.
+var wantRE = regexp.MustCompile("// want (`[^`]*`(?: `[^`]*`)*)")
+
+// expectation is one `// want` regex attached to a file:line.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans every .go file of dir for `// want` comments.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, raw := range strings.Split(m[1], "` `") {
+				raw = strings.Trim(raw, "`")
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, raw, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: line, re: re})
+			}
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// runGolden loads one corpus directory, runs one analyzer, and matches the
+// diagnostics against the corpus's `// want` expectations both ways.
+func runGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	wants := parseWants(t, dir)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(d.File) || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetrandGolden(t *testing.T)   { runGolden(t, Detrand) }
+func TestMapiterGolden(t *testing.T)   { runGolden(t, Mapiter) }
+func TestSeedflowGolden(t *testing.T)  { runGolden(t, Seedflow) }
+func TestWirewidthGolden(t *testing.T) { runGolden(t, Wirewidth) }
+func TestLockheldGolden(t *testing.T)  { runGolden(t, Lockheld) }
+
+// TestRepoClean is the enforcement half of the suite: the repository's own
+// tree must produce zero diagnostics from every analyzer. A violation
+// introduced anywhere in the module fails this test (and CI's lint job).
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; module walk is broken", len(pkgs), root)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("repo must lint clean, got: %s", d)
+	}
+}
+
+// TestDiagnosticString pins the CLI's human-readable finding format.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "mapiter", File: "x.go", Line: 3, Col: 7, Message: "boom"}
+	want := "x.go:3:7: mapiter: boom"
+	if got := fmt.Sprint(d); got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Lockheld enforces documented lock discipline: a struct field whose
+// comment says "guarded by <mu>" (where <mu> is a sync.Mutex or RWMutex
+// field of the same struct) may only be touched in methods that called
+// <mu>.Lock or <mu>.RLock earlier in the same body. The check is a
+// conservative textual-order approximation — it does not model branches or
+// early unlocks — which is exactly what makes it cheap enough to run on
+// every CI push. A method whose caller is documented to hold the lock
+// carries //mars:locked.
+var Lockheld = &Analyzer{
+	Name:      "lockheld",
+	Doc:       "flag guarded-field access outside a Lock/Unlock span",
+	Directive: "locked",
+	Run:       runLockheld,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+func runLockheld(p *Pass) {
+	// structName -> guarded field -> mutex field.
+	guards := map[string]map[string]string{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexes := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if !isMutexType(p.TypeOf(fld.Type)) {
+					continue
+				}
+				for _, name := range fld.Names {
+					mutexes[name.Name] = true
+				}
+			}
+			if len(mutexes) == 0 {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardDoc(fld)
+				if mu == "" || !mutexes[mu] {
+					continue
+				}
+				for _, name := range fld.Names {
+					byField := guards[ts.Name.Name]
+					if byField == nil {
+						byField = map[string]string{}
+						guards[ts.Name.Name] = byField
+					}
+					byField[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue
+			}
+			recvName := recvField.Names[0]
+			structName := receiverTypeName(recvField.Type)
+			byField := guards[structName]
+			if byField == nil {
+				continue
+			}
+			if p.Suppressed(fd.Pos(), "locked") {
+				continue // caller holds the lock by contract
+			}
+			recvObj := p.ObjectOf(recvName)
+			checkLockDiscipline(p, fd, recvObj, byField)
+		}
+	}
+}
+
+// checkLockDiscipline flags guarded-field accesses not preceded (in
+// textual order) by a Lock/RLock of the guarding mutex on the receiver.
+func checkLockDiscipline(p *Pass, fd *ast.FuncDecl, recvObj types.Object, byField map[string]string) {
+	if recvObj == nil {
+		return
+	}
+	// First positions where each mutex is locked.
+	lockPos := map[string]ast.Node{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(muSel.X).(*ast.Ident)
+		if !ok || p.ObjectOf(base) != recvObj {
+			return true
+		}
+		if prev, ok := lockPos[muSel.Sel.Name]; !ok || call.Pos() < prev.Pos() {
+			lockPos[muSel.Sel.Name] = call
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || p.ObjectOf(base) != recvObj {
+			return true
+		}
+		mu, guarded := byField[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		lock, locked := lockPos[mu]
+		if !locked || sel.Pos() < lock.Pos() {
+			p.Reportf(sel.Pos(),
+				"field %s is documented as guarded by %s but is accessed before any %s.Lock/RLock in %s (annotate the method //mars:locked if the caller holds it)",
+				sel.Sel.Name, mu, mu, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// guardDoc extracts the mutex name from a field's "guarded by X" comment.
+func guardDoc(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverTypeName unwraps a method receiver type to its type name.
+func receiverTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr: // generic receiver
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Golden corpus for the detrand analyzer: ambient wall-clock and global
+// RNG calls are flagged unless the site carries //mars:wallclock.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocked() time.Duration {
+	start := time.Now()                 // want `ambient wall clock: time\.Now`
+	time.Sleep(time.Millisecond)        // want `ambient wall clock: time\.Sleep`
+	tick := time.Tick(time.Second)      // want `ambient wall clock: time\.Tick`
+	timer := time.NewTimer(time.Second) // want `ambient wall clock: time\.NewTimer`
+	_, _ = tick, timer
+	return time.Since(start) // want `ambient wall clock: time\.Since`
+}
+
+func annotated() time.Time {
+	return time.Now() //mars:wallclock operator-facing timestamp
+}
+
+func annotatedAbove() time.Duration {
+	//mars:wallclock wall-time benchmarking
+	start := time.Now()
+	//mars:wallclock wall-time benchmarking
+	return time.Since(start)
+}
+
+func globalRNG() int {
+	rand.Seed(42)                      // want `rand\.Seed reseeds the process-global generator`
+	x := rand.Intn(10)                 // want `global RNG: rand\.Intn draws from the ambient generator`
+	f := rand.Float64()                // want `global RNG: rand\.Float64 draws from the ambient generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `global RNG: rand\.Shuffle draws from the ambient generator`
+	return x + int(f)
+}
+
+// Constructors and methods on an explicit *rand.Rand never report: they
+// are the sanctioned replacement.
+func localRNG(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() + float64(r.Intn(3))
+}
+
+// time values that do not read the ambient clock are fine.
+func pureTime(t time.Time) time.Time {
+	return t.Add(3 * time.Millisecond).Truncate(time.Second)
+}

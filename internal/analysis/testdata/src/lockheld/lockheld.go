@@ -1,0 +1,55 @@
+// Golden corpus for the lockheld analyzer: fields documented "guarded by
+// <mu>" must be accessed under that mutex.
+package lockheld
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	// n is guarded by mu.
+	n int
+	// free has no guard annotation and is never checked.
+	free int
+}
+
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `field n is documented as guarded by mu but is accessed before any mu\.Lock/RLock in Bad`
+}
+
+func (c *Counter) BadBefore() {
+	c.n++ // want `accessed before any mu\.Lock/RLock in BadBefore`
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Unguarded() int {
+	return c.free
+}
+
+//mars:locked caller holds mu
+func (c *Counter) addLocked(d int) {
+	c.n += d
+}
+
+type Stats struct {
+	mu sync.RWMutex
+	// hits guarded by mu (read lock suffices).
+	hits map[string]int
+}
+
+func (s *Stats) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits[k]
+}
+
+func (s *Stats) Peek(k string) int {
+	return s.hits[k] // want `field hits is documented as guarded by mu but is accessed before any mu\.Lock/RLock in Peek`
+}

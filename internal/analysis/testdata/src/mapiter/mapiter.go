@@ -1,0 +1,119 @@
+// Golden corpus for the mapiter analyzer: order-sensitive writes, returns
+// and deletes inside `range` over a map.
+package mapiter
+
+func appendLoop(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `write to out inside .range. over map m depends on iteration order`
+	}
+	return out
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `write to total inside .range. over map m`
+	}
+	return total
+}
+
+func argmax(m map[string]int) string {
+	var bestK string
+	best := -1
+	for k, v := range m {
+		if v > best {
+			best = v  // want `write to best inside .range. over map m`
+			bestK = k // want `write to bestK inside .range. over map m`
+		}
+	}
+	return bestK
+}
+
+func crossMapWrite(m map[string]int, other map[string]int) {
+	for k, v := range m {
+		other[k] = v // want `write to other\[\.\.\.\] inside .range. over map m`
+	}
+}
+
+func returnArbitrary(m map[string]int) int {
+	for _, v := range m {
+		return v // want `return inside .range. over map m yields an arbitrary element`
+	}
+	return 0
+}
+
+func deleteOther(m, other map[string]int) {
+	for k := range m {
+		delete(other, k) // want `delete from other inside .range. over map m`
+	}
+}
+
+// Deleting from the map being ranged is a supported Go idiom and
+// order-independent.
+func deleteSelf(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Writes into the map being ranged land in an unordered container.
+func writeSelf(m map[string]int) {
+	for k, v := range m {
+		m[k] = v + 1
+	}
+}
+
+// Loop-local state is invisible outside one iteration.
+func localState(m map[string][]int) int {
+	n := 0
+	//mars:mapiter-ok integer counting is order-independent
+	for _, vs := range m {
+		local := 0
+		for _, v := range vs {
+			local += v
+		}
+		n += local
+	}
+	return n
+}
+
+// A directive on (or above) the range line suppresses the whole loop.
+func annotated(m map[string]int) int {
+	n := 0
+	//mars:mapiter-ok integer counting is order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A return inside a closure does not exit the loop; writes through the
+// closure to outer state are still flagged.
+func closures(m map[string]int) []func() int {
+	var fns []func() int
+	var leaked int
+	for _, v := range m {
+		v := v
+		fns = append(fns, func() int { // want `write to fns inside .range. over map m`
+			leaked = v // want `write to leaked inside .range. over map m`
+			return v
+		})
+	}
+	_ = leaked
+	return fns
+}
+
+// Nested map ranges are analyzed independently: one report per hazard, at
+// the innermost loop that causes it.
+func nested(outer map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range outer {
+		for k := range inner {
+			out = append(out, k) // want `write to out inside .range. over map inner`
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Golden corpus for the seedflow analyzer: literal seeds hidden inside
+// components decouple them from the run's configured seed.
+package seedflow
+
+import "math/rand"
+
+const defaultSeed = 7
+
+func fixed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `literal seed 42 in rand\.NewSource`
+}
+
+func fixedConst() *rand.Rand {
+	return rand.New(rand.NewSource(defaultSeed)) // want `literal seed 7 in rand\.NewSource`
+}
+
+func fixedExpr() *rand.Rand {
+	return rand.New(rand.NewSource(2*3 + 1)) // want `literal seed 7 in rand\.NewSource`
+}
+
+func fromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+type cfg struct{ Seed int64 }
+
+func fromConfig(c cfg) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+func derived(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x9E3779B9)) // mixing a literal into a parameter is fine
+}
+
+func reviewed() *rand.Rand {
+	return rand.New(rand.NewSource(1)) //mars:fixedseed reviewed constant for the demo generator
+}

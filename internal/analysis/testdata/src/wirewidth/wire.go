@@ -1,0 +1,110 @@
+// Golden corpus for the wirewidth analyzer. The file must be named
+// wire.go — the analyzer only inspects hand-written codec files.
+package wirewidth
+
+import "encoding/binary"
+
+// The paper's constant is pinned: any other value is layout drift.
+const TelemetryHeaderBytes = 12 // want `TelemetryHeaderBytes = 12, want 11`
+
+type Hdr struct {
+	A uint32
+	B uint16
+	C uint8
+}
+
+// A correct pair: same spans on both sides, no holes, single-byte tail.
+func MarshalGood(h Hdr) [7]byte {
+	var b [7]byte
+	binary.BigEndian.PutUint32(b[0:4], h.A)
+	binary.BigEndian.PutUint16(b[4:6], h.B)
+	b[6] = h.C
+	return b
+}
+
+func UnmarshalGood(b [7]byte) Hdr {
+	return Hdr{
+		A: binary.BigEndian.Uint32(b[0:4]),
+		B: binary.BigEndian.Uint16(b[4:6]),
+		C: b[6],
+	}
+}
+
+// Encode/decode asymmetry: the encoder and decoder disagree on bytes 4-8.
+func MarshalSkew(h Hdr) [8]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], h.A)
+	binary.BigEndian.PutUint16(b[4:6], h.B) // want `MarshalSkew writes b\[4:6\] but UnmarshalSkew never reads it`
+	return b
+}
+
+func UnmarshalSkew(b [8]byte) Hdr {
+	return Hdr{
+		A: binary.BigEndian.Uint32(b[0:4]),
+		B: binary.BigEndian.Uint16(b[6:8]), // want `UnmarshalSkew reads b\[6:8\] but MarshalSkew never writes it`
+	}
+}
+
+// Accessor width must match the slice span it is applied to.
+func MarshalWide(h Hdr) [4]byte {
+	var b [4]byte
+	binary.BigEndian.PutUint16(b[0:4], h.B) // want `PutUint16 over b\[0:4\] spans 4 bytes, but the accessor moves 2`
+	return b
+}
+
+func UnmarshalWide(b [4]byte) Hdr {
+	return Hdr{B: binary.BigEndian.Uint16(b[0:4])} // want `Uint16 over b\[0:4\] spans 4 bytes, but the accessor moves 2`
+}
+
+// Overlapping fields share bytes: the second write clobbers the first.
+func MarshalLap(h Hdr) [6]byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], h.A)
+	binary.BigEndian.PutUint32(b[2:6], h.A) // want `MarshalLap writes overlapping byte ranges \[0:4\) and \[2:6\)`
+	return b
+}
+
+func UnmarshalLap(b [6]byte) Hdr {
+	_ = binary.BigEndian.Uint32(b[2:6])
+	return Hdr{A: binary.BigEndian.Uint32(b[0:4])}
+}
+
+// A hole: byte 2 is never written.
+func MarshalHole(h Hdr) [4]byte { // want `MarshalHole leaves a hole: bytes \[2:3\)`
+	var b [4]byte
+	binary.BigEndian.PutUint16(b[0:2], h.B)
+	b[3] = h.C
+	return b
+}
+
+func UnmarshalHole(b [4]byte) Hdr {
+	return Hdr{B: binary.BigEndian.Uint16(b[0:2]), C: b[3]}
+}
+
+// The telemetry header pair must cover all 11 bytes exactly; a trailing
+// reserved byte that other codecs may leave is a fault here.
+func MarshalINT(h Hdr) [11]byte { // want `MarshalINT field widths sum to 10 bytes, want 11`
+	var b [11]byte
+	binary.BigEndian.PutUint32(b[0:4], h.A)
+	binary.BigEndian.PutUint32(b[4:8], h.A)
+	binary.BigEndian.PutUint16(b[8:10], h.B)
+	return b
+}
+
+func UnmarshalINT(b [11]byte) Hdr {
+	return Hdr{
+		A: binary.BigEndian.Uint32(b[0:4]) ^ binary.BigEndian.Uint32(b[4:8]),
+		B: binary.BigEndian.Uint16(b[8:10]),
+	}
+}
+
+// Codecs without a counterpart cannot be checked for symmetry.
+func MarshalOrphan(h Hdr) [2]byte { // want `MarshalOrphan has no UnmarshalOrphan counterpart`
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[0:2], h.B)
+	return b
+}
+
+func UnmarshalWidow(b [2]byte) Hdr { // want `UnmarshalWidow has no MarshalWidow counterpart`
+	return Hdr{B: binary.BigEndian.Uint16(b[0:2])}
+}

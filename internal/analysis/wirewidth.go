@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Wirewidth checks the hand-written wire codecs in wire.go: every
+// Marshal<X>/Unmarshal<X> pair over an [N]byte array must write and read
+// exactly the same byte spans with matching widths, fields must not
+// overlap or leave holes, and the telemetry header pair (suffix "INT")
+// must cover the paper's 11-byte payload exactly — TelemetryHeaderBytes
+// is additionally pinned to 11. Layout drift (a widened counter, a moved
+// field, an encoder/decoder that disagree) becomes a lint failure instead
+// of a silent corruption.
+var Wirewidth = &Analyzer{
+	Name: "wirewidth",
+	Doc:  "check wire.go encode/decode symmetry and field-width accounting",
+	Run:  runWirewidth,
+}
+
+// telemetryPayloadBytes is the paper's fixed INT payload size (§4.1).
+const telemetryPayloadBytes = 11
+
+// span is one byte range [lo, hi) of a wire form.
+type span struct {
+	lo, hi int
+	pos    token.Pos
+}
+
+// codecFunc is one side of a Marshal/Unmarshal pair.
+type codecFunc struct {
+	decl  *ast.FuncDecl
+	size  int // the [N]byte array length
+	spans []span
+}
+
+func runWirewidth(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if filepath.Base(p.Pkg.Fset.Position(f.Pos()).Filename) != "wire.go" {
+			continue
+		}
+		checkWireFile(p, f)
+	}
+}
+
+func checkWireFile(p *Pass, f *ast.File) {
+	marshals := map[string]*codecFunc{}
+	unmarshals := map[string]*codecFunc{}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if suffix, ok := strings.CutPrefix(fd.Name.Name, "Marshal"); ok && suffix != "" {
+			if size, ok := resultArraySize(p, fd); ok {
+				cf := &codecFunc{decl: fd, size: size}
+				cf.spans = collectSpans(p, fd, size, true)
+				marshals[suffix] = cf
+			}
+		}
+		if suffix, ok := strings.CutPrefix(fd.Name.Name, "Unmarshal"); ok && suffix != "" {
+			if size, ok := paramArraySize(p, fd); ok {
+				cf := &codecFunc{decl: fd, size: size}
+				cf.spans = collectSpans(p, fd, size, false)
+				unmarshals[suffix] = cf
+			}
+		}
+	}
+	if len(marshals)+len(unmarshals) == 0 {
+		return
+	}
+
+	// The paper's constant must stay the paper's constant.
+	if obj := p.Pkg.Types.Scope().Lookup("TelemetryHeaderBytes"); obj != nil {
+		if c, ok := obj.(*types.Const); ok {
+			if v, ok := constant.Int64Val(c.Val()); ok && v != telemetryPayloadBytes {
+				p.Reportf(obj.Pos(), "TelemetryHeaderBytes = %d, want %d (the paper's 11-byte telemetry payload)", v, telemetryPayloadBytes)
+			}
+		}
+	}
+
+	suffixes := make([]string, 0, len(marshals))
+	for s := range marshals {
+		//mars:mapiter-ok keys are sorted before use
+		suffixes = append(suffixes, s)
+	}
+	sort.Strings(suffixes)
+
+	for _, suffix := range suffixes {
+		m := marshals[suffix]
+		u, ok := unmarshals[suffix]
+		if !ok {
+			p.Reportf(m.decl.Name.Pos(), "Marshal%s has no Unmarshal%s counterpart to verify symmetry against", suffix, suffix)
+			continue
+		}
+		delete(unmarshals, suffix)
+		if m.size != u.size {
+			p.Reportf(u.decl.Name.Pos(), "Unmarshal%s takes a [%d]byte wire form but Marshal%s produces [%d]byte", suffix, u.size, suffix, m.size)
+			continue
+		}
+		mspans := dedupeSpans(m.spans)
+		uspans := dedupeSpans(u.spans)
+
+		// Overlap within the encoder: two fields sharing bytes.
+		for i := 1; i < len(mspans); i++ {
+			if mspans[i].lo < mspans[i-1].hi {
+				p.Reportf(mspans[i].pos, "Marshal%s writes overlapping byte ranges [%d:%d) and [%d:%d)",
+					suffix, mspans[i-1].lo, mspans[i-1].hi, mspans[i].lo, mspans[i].hi)
+			}
+		}
+
+		// Encode/decode symmetry: identical span sets on both sides.
+		for _, s := range diffSpans(mspans, uspans) {
+			p.Reportf(s.pos, "Marshal%s writes b[%d:%d] but Unmarshal%s never reads it (encode/decode asymmetry)", suffix, s.lo, s.hi, suffix)
+		}
+		for _, s := range diffSpans(uspans, mspans) {
+			p.Reportf(s.pos, "Unmarshal%s reads b[%d:%d] but Marshal%s never writes it (encode/decode asymmetry)", suffix, s.lo, s.hi, suffix)
+		}
+
+		// Coverage: fields must tile the wire form from byte 0 with no
+		// holes. Trailing reserved/alignment bytes are tolerated except in
+		// the telemetry header, whose widths must sum to exactly 11.
+		covered := 0
+		for _, s := range mspans {
+			if s.lo > covered {
+				p.Reportf(m.decl.Name.Pos(), "Marshal%s leaves a hole: bytes [%d:%d) of the %d-byte wire form are never written", suffix, covered, s.lo, m.size)
+			}
+			if s.hi > covered {
+				covered = s.hi
+			}
+		}
+		if suffix == "INT" && covered != m.size {
+			p.Reportf(m.decl.Name.Pos(), "MarshalINT field widths sum to %d bytes, want %d (the paper's 11-byte telemetry payload)", covered, m.size)
+		}
+	}
+	rest := make([]string, 0, len(unmarshals))
+	for s := range unmarshals {
+		//mars:mapiter-ok keys are sorted before use
+		rest = append(rest, s)
+	}
+	sort.Strings(rest)
+	for _, suffix := range rest {
+		p.Reportf(unmarshals[suffix].decl.Name.Pos(), "Unmarshal%s has no Marshal%s counterpart to verify symmetry against", suffix, suffix)
+	}
+}
+
+// endianWidths maps encoding/binary accessor names to their byte widths.
+var endianWidths = map[string]int{
+	"PutUint16": 2, "PutUint32": 4, "PutUint64": 8,
+	"Uint16": 2, "Uint32": 4, "Uint64": 8,
+}
+
+// collectSpans gathers the byte spans a codec function touches on its
+// [size]byte wire buffer: encoding/binary accessor calls over slices of
+// the buffer, plus single-byte index writes (marshal) or reads
+// (unmarshal).
+func collectSpans(p *Pass, fd *ast.FuncDecl, size int, writes bool) []span {
+	var spans []span
+
+	// Index expressions appearing as assignment targets.
+	assigned := map[*ast.IndexExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					assigned[ix] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(p, x)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			width, ok := endianWidths[fn.Name()]
+			if !ok || len(x.Args) == 0 {
+				return true
+			}
+			isPut := strings.HasPrefix(fn.Name(), "Put")
+			if isPut != writes {
+				return true
+			}
+			se, ok := ast.Unparen(x.Args[0]).(*ast.SliceExpr)
+			if !ok || !isWireBuffer(p, se.X, size) {
+				return true
+			}
+			lo, okLo := constIndex(p, se.Low, 0)
+			hi, okHi := constIndex(p, se.High, size)
+			if !okLo || !okHi {
+				p.Reportf(se.Pos(), "%s: non-constant slice bounds on the wire buffer defeat width checking", fd.Name.Name)
+				return true
+			}
+			if hi-lo != width {
+				p.Reportf(x.Pos(), "%s: %s over b[%d:%d] spans %d bytes, but the accessor moves %d", fd.Name.Name, fn.Name(), lo, hi, hi-lo, width)
+			}
+			spans = append(spans, span{lo: lo, hi: hi, pos: x.Pos()})
+		case *ast.IndexExpr:
+			if !isWireBuffer(p, x.X, size) {
+				return true
+			}
+			if assigned[x] != writes {
+				return true
+			}
+			idx, ok := constIndex(p, x.Index, -1)
+			if !ok {
+				p.Reportf(x.Pos(), "%s: non-constant index on the wire buffer defeats width checking", fd.Name.Name)
+				return true
+			}
+			spans = append(spans, span{lo: idx, hi: idx + 1, pos: x.Pos()})
+		}
+		return true
+	})
+	return spans
+}
+
+// isWireBuffer reports whether e has type [size]byte (or pointer to it).
+func isWireBuffer(p *Pass, e ast.Expr, size int) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok || arr.Len() != int64(size) {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8 // types.Byte is an alias
+}
+
+// constIndex evaluates a constant index expression; a nil expression takes
+// the given default (slice bounds omit 0 and len).
+func constIndex(p *Pass, e ast.Expr, dflt int) (int, bool) {
+	if e == nil {
+		if dflt < 0 {
+			return 0, false
+		}
+		return dflt, true
+	}
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// resultArraySize extracts N when fd returns [N]byte.
+func resultArraySize(p *Pass, fd *ast.FuncDecl) (int, bool) {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return 0, false
+	}
+	return byteArraySize(p.TypeOf(fd.Type.Results.List[0].Type))
+}
+
+// paramArraySize extracts N from fd's first [N]byte parameter.
+func paramArraySize(p *Pass, fd *ast.FuncDecl) (int, bool) {
+	if fd.Type.Params == nil {
+		return 0, false
+	}
+	for _, fld := range fd.Type.Params.List {
+		if n, ok := byteArraySize(p.TypeOf(fld.Type)); ok {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+func byteArraySize(t types.Type) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return 0, false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	if !ok || (basic.Kind() != types.Byte && basic.Kind() != types.Uint8) {
+		return 0, false
+	}
+	return int(arr.Len()), true
+}
+
+// dedupeSpans sorts spans by (lo, hi) and folds exact duplicates (the same
+// field written on both arms of a conditional).
+func dedupeSpans(spans []span) []span {
+	s := append([]span(nil), spans...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].lo != s[j].lo {
+			return s[i].lo < s[j].lo
+		}
+		return s[i].hi < s[j].hi
+	})
+	out := s[:0]
+	for _, sp := range s {
+		if len(out) > 0 && out[len(out)-1].lo == sp.lo && out[len(out)-1].hi == sp.hi {
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// diffSpans returns the spans of a absent from b (both sorted, deduped).
+func diffSpans(a, b []span) []span {
+	have := map[string]bool{}
+	for _, s := range b {
+		have[fmt.Sprintf("%d:%d", s.lo, s.hi)] = true
+	}
+	var out []span
+	for _, s := range a {
+		if !have[fmt.Sprintf("%d:%d", s.lo, s.hi)] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

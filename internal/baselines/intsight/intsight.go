@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"mars/internal/dataplane"
+	"mars/internal/det"
 	"mars/internal/netsim"
 	"mars/internal/topology"
 )
@@ -177,21 +178,23 @@ func (s *System) Localize() []Culprit {
 	citations := make(map[topology.NodeID]float64)
 	flowViolations := make(map[netsim.FlowKey]float64)
 	flowIDs := make(map[netsim.FlowKey]dataplane.FlowID)
-	for _, b := range s.reports {
-		for _, r := range b {
-			for sw, n := range r.contention {
-				citations[sw] += float64(n)
+	for _, epoch := range det.Keys(s.reports) {
+		b := s.reports[epoch]
+		for _, fk := range det.Keys(b) {
+			r := b[fk]
+			for _, sw := range det.Keys(r.contention) {
+				citations[sw] += float64(r.contention[sw])
 			}
 			flowViolations[r.flow] += float64(r.violations)
 			flowIDs[r.flow] = r.flowID
 		}
 	}
 	var out []Culprit
-	for sw, n := range citations {
-		out = append(out, Culprit{Switch: sw, Flow: 0, Score: n})
+	for _, sw := range det.Keys(citations) {
+		out = append(out, Culprit{Switch: sw, Flow: 0, Score: citations[sw]})
 	}
-	for f, n := range flowViolations {
-		out = append(out, Culprit{Switch: -1, Flow: f, FlowID: flowIDs[f], Score: n / 2})
+	for _, f := range det.Keys(flowViolations) {
+		out = append(out, Culprit{Switch: -1, Flow: f, FlowID: flowIDs[f], Score: flowViolations[f] / 2})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {

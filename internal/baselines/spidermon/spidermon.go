@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"mars/internal/dataplane"
+	"mars/internal/det"
 	"mars/internal/netsim"
 	"mars/internal/topology"
 )
@@ -173,9 +174,16 @@ func (s *System) Localize() []Culprit {
 	domQueue := make(map[netsim.FlowKey]occKey)
 	domCount := make(map[netsim.FlowKey]int32)
 
+	occKeyLess := func(a, b occKey) bool {
+		if a.sw != b.sw {
+			return a.sw < b.sw
+		}
+		return a.port < b.port
+	}
 	for b := trigBucket - 1; b <= trigBucket; b++ {
 		buckets := s.occupancy[b]
-		for qk, flows := range buckets {
+		for _, qk := range det.KeysFunc(buckets, occKeyLess) {
+			flows := buckets[qk]
 			// Flows with fewer packets in the queue wait for flows with
 			// more; self-edges are excluded.
 			type fc struct {
@@ -183,7 +191,8 @@ func (s *System) Localize() []Culprit {
 				c int32
 			}
 			list := make([]fc, 0, len(flows))
-			for f, c := range flows {
+			for _, f := range det.Keys(flows) {
+				c := flows[f]
 				list = append(list, fc{f, c})
 				if c > domCount[f] {
 					domCount[f] = c
@@ -209,13 +218,13 @@ func (s *System) Localize() []Culprit {
 
 	var flows []netsim.FlowKey
 	seen := map[netsim.FlowKey]bool{}
-	for f := range in {
+	for _, f := range det.Keys(in) {
 		if !seen[f] {
 			seen[f] = true
 			flows = append(flows, f)
 		}
 	}
-	for f := range out {
+	for _, f := range det.Keys(out) {
 		if !seen[f] {
 			seen[f] = true
 			flows = append(flows, f)

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"mars/internal/dataplane"
+	"mars/internal/det"
 	"mars/internal/netsim"
 	"mars/internal/topology"
 )
@@ -165,9 +166,11 @@ func (s *System) queryMicroBurst() []Culprit {
 		b[int64(r.at/s.Cfg.Bucket)]++
 	}
 	var out []Culprit
-	for f, b := range buckets {
+	for _, f := range det.Keys(buckets) {
+		b := buckets[f]
 		var vals []float64
 		var peak float64
+		//mars:mapiter-ok peak is a pure maximum and vals is fully sorted before use
 		for _, v := range b {
 			vals = append(vals, v)
 			if v > peak {
@@ -204,12 +207,14 @@ func (s *System) queryECMP() []Culprit {
 		hasPrev[r.pkt] = true
 	}
 	var out []Culprit
-	for sw, m := range succ {
+	for _, sw := range det.Keys(succ) {
+		m := succ[sw]
 		if len(m) < 2 {
 			continue
 		}
 		var max, min float64
 		first := true
+		//mars:mapiter-ok max and min are pure extrema over the values
 		for _, v := range m {
 			if first || v > max {
 				max = v
@@ -241,6 +246,7 @@ func (s *System) queryProcessRate() []Culprit {
 		n[k]++
 	}
 	best := make(map[topology.NodeID]float64)
+	//mars:mapiter-ok best keeps a pure per-switch maximum; ties store the identical value
 	for k, s2 := range sum {
 		mean := s2 / n[k]
 		if mean > best[k.sw] {
@@ -248,8 +254,8 @@ func (s *System) queryProcessRate() []Culprit {
 		}
 	}
 	var out []Culprit
-	for sw, v := range best {
-		out = append(out, Culprit{Switch: sw, Score: v})
+	for _, sw := range det.Keys(best) {
+		out = append(out, Culprit{Switch: sw, Score: best[sw]})
 	}
 	return sortCulprits(out)
 }
@@ -272,8 +278,8 @@ func (s *System) queryDelay() []Culprit {
 		has[r.pkt] = true
 	}
 	var out []Culprit
-	for sw, s2 := range sum {
-		out = append(out, Culprit{Switch: sw, Score: s2 / n[sw]})
+	for _, sw := range det.Keys(sum) {
+		out = append(out, Culprit{Switch: sw, Score: sum[sw] / n[sw]})
 	}
 	return sortCulprits(out)
 }
@@ -282,14 +288,15 @@ func (s *System) queryDelay() []Culprit {
 // were never delivered.
 func (s *System) queryDrop() []Culprit {
 	vanished := make(map[topology.NodeID]float64)
+	//mars:mapiter-ok counting by exact float increments of 1 is order-independent
 	for pkt, sw := range s.lastSeen {
 		if !s.delivered[pkt] {
 			vanished[sw]++
 		}
 	}
 	var out []Culprit
-	for sw, v := range vanished {
-		out = append(out, Culprit{Switch: sw, Score: v})
+	for _, sw := range det.Keys(vanished) {
+		out = append(out, Culprit{Switch: sw, Score: vanished[sw]})
 	}
 	return sortCulprits(out)
 }

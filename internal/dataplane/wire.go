@@ -120,7 +120,7 @@ func MarshalNotification(n *Notification) [NotificationBytes]byte {
 	if n.Kind == NotifyHighLatency {
 		binary.BigEndian.PutUint32(b[17:21], uint32(n.Latency/netsim.Microsecond))
 	} else {
-		binary.BigEndian.PutUint32(b[17:21], uint32(min64w(n.Dropped, 1<<31)))
+		binary.BigEndian.PutUint32(b[17:21], uint32(min64w(n.Dropped, 0xFFFFFFFF)))
 	}
 	binary.BigEndian.PutUint16(b[21:23], uint16(n.EpochGap))
 	return b

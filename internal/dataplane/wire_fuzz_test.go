@@ -1,0 +1,136 @@
+package dataplane
+
+import (
+	"reflect"
+	"testing"
+
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// FuzzWireRoundTrip drives the telemetry-header codec with arbitrary wire
+// bytes and anchors: UnmarshalINT must never panic, and the codec must be
+// idempotent — decode(encode(decode(b))) == decode(b) under the same
+// anchors. (Raw bytes are not compared: byte 10's high bits are reserved
+// and legitimately dropped by MarshalINT.)
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, int64(0), uint32(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		int64(5400*netsim.Second), uint32(1<<20))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0x80}, int64(3*netsim.Second), uint32(70000))
+	f.Fuzz(func(t *testing.T, raw []byte, nowRaw int64, epochHint uint32) {
+		var b [TelemetryHeaderBytes]byte
+		copy(b[:], raw)
+		if nowRaw < 0 {
+			nowRaw = 0 // the codecs' contract is a non-negative clock
+		}
+		now := netsim.Time(nowRaw)
+
+		h := UnmarshalINT(b, now, epochHint)
+		b2 := MarshalINT(h)
+		h2 := UnmarshalINT(b2, now, epochHint)
+		if !reflect.DeepEqual(h, h2) {
+			t.Fatalf("INT codec not idempotent:\n b=%v -> %+v\nb2=%v -> %+v", b, h, b2, h2)
+		}
+		// Every byte except the flags byte must survive re-encoding; the
+		// flags byte keeps exactly its defined bit.
+		for i := 0; i < TelemetryHeaderBytes-1; i++ {
+			if b2[i] != b[i] {
+				t.Fatalf("byte %d changed across re-encode: %#x -> %#x", i, b[i], b2[i])
+			}
+		}
+		if b2[10] != b[10]&1 {
+			t.Fatalf("flags byte %#x re-encoded as %#x, want %#x", b[10], b2[10], b[10]&1)
+		}
+	})
+}
+
+// FuzzINTHeaderRoundTrip goes the other direction: any in-range header
+// must survive encode -> decode exactly.
+func FuzzINTHeaderRoundTrip(f *testing.F) {
+	f.Add(int64(5*netsim.Second), uint64(1000), uint32(100), uint32(7), uint32(42), true)
+	f.Add(int64(0), uint64(0), uint32(0), uint32(0), uint32(0), false)
+	f.Fuzz(func(t *testing.T, nowRaw int64, tsBack uint64, count, depth, epoch uint32, flagged bool) {
+		if nowRaw < 0 {
+			nowRaw = 0 // the codecs' contract is a non-negative clock
+		}
+		now := netsim.Time(nowRaw)
+		nowUS := uint64(now / netsim.Microsecond)
+		// The compressed timestamp window: at most 2^31 µs in the past,
+		// and never before t=0. Timestamps are carried in whole µs.
+		back := tsBack % (1 << 31)
+		if back > nowUS {
+			back = nowUS
+		}
+		// The epoch hint window: at most 2^15 epochs before the hint.
+		hint := epoch
+		epochBack := uint32(uint16(tsBack)) % (1 << 15)
+		if epochBack > hint {
+			epochBack = hint
+		}
+		h := &INTHeader{
+			SourceTS:        netsim.Time(nowUS-back) * netsim.Microsecond,
+			LastEpochCount:  count % 0x10000, // sat16 is lossy above this
+			TotalQueueDepth: depth % 0x10000,
+			EpochID:         hint - epochBack,
+			Flagged:         flagged,
+		}
+		got := UnmarshalINT(MarshalINT(h), now, hint)
+		if !reflect.DeepEqual(h, got) {
+			t.Fatalf("in-range header did not round-trip:\nin  %+v\nout %+v (now=%d hint=%d)", h, got, now, hint)
+		}
+	})
+}
+
+// FuzzNotificationRoundTrip checks the notification codec the same way:
+// arbitrary bytes never panic, unknown kinds error instead of guessing,
+// and decoding is idempotent for valid kinds.
+func FuzzNotificationRoundTrip(f *testing.F) {
+	f.Add(make([]byte, NotificationBytes), int64(0))
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 1, 0, 0, 0, 0, 5, 0, 2, 0},
+		int64(2*netsim.Second))
+	f.Fuzz(func(t *testing.T, raw []byte, nowRaw int64) {
+		var b [NotificationBytes]byte
+		copy(b[:], raw)
+		if nowRaw < 0 {
+			nowRaw = 0 // the codecs' contract is a non-negative clock
+		}
+		now := netsim.Time(nowRaw)
+
+		n, err := UnmarshalNotification(b, now)
+		if k := NotificationKind(b[0]); k != NotifyHighLatency && k != NotifyDrop {
+			if err == nil {
+				t.Fatalf("kind %d decoded without error", b[0])
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid kind %d failed to decode: %v", b[0], err)
+		}
+		n2, err := UnmarshalNotification(MarshalNotification(n), now)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(n, n2) {
+			t.Fatalf("notification codec not idempotent:\n%+v\n%+v", n, n2)
+		}
+	})
+}
+
+// FuzzRTRecordRoundTrip checks the Ring Table collection codec: decoding
+// arbitrary bytes never panics and is idempotent under fixed sink/anchors.
+func FuzzRTRecordRoundTrip(f *testing.F) {
+	f.Add(make([]byte, RTRecordBytes), int32(4), uint32(12), int64(netsim.Second))
+	f.Add([]byte{0, 0, 0, 2, 0, 7, 0, 9, 0, 0, 3, 0, 0, 5, 0, 4, 0, 6, 0, 0, 9, 9, 0, 8, 0, 1, 0, 0},
+		int32(11), uint32(70000), int64(3*netsim.Second))
+	f.Fuzz(func(t *testing.T, raw []byte, sinkRaw int32, epochHint uint32, arrivalRaw int64) {
+		var b [RTRecordBytes]byte
+		copy(b[:], raw)
+		sink := topology.NodeID(sinkRaw)
+		r := UnmarshalRTRecord(b, sink, epochHint, netsim.Time(arrivalRaw))
+		r2 := UnmarshalRTRecord(MarshalRTRecord(r), sink, epochHint, netsim.Time(arrivalRaw))
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("RTRecord codec not idempotent:\n%+v\n%+v", r, r2)
+		}
+	})
+}

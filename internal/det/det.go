@@ -1,0 +1,41 @@
+// Package det provides deterministic iteration helpers. Go randomizes map
+// iteration order on purpose; any loop that ranges over a map and emits
+// ordered output (appends to a slice, accumulates floating point, selects
+// an argmax) silently couples results to that randomness. MARS's seeded
+// runs must produce byte-identical culprit lists, so such loops iterate a
+// sorted key view instead. The mars-lint `mapiter` analyzer enforces the
+// convention; these helpers are the sanctioned way to satisfy it.
+package det
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+// Keys returns m's keys in ascending order. The map itself is the only
+// place iteration order leaks from, so the one range loop below carries
+// the suppression directive: the collected keys are fully sorted before
+// they are returned.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	//mars:mapiter-ok keys are fully sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// KeysFunc returns m's keys ordered by less, for key types without a
+// natural order (structs, arrays). less must be a strict weak ordering
+// that distinguishes any two distinct keys, or determinism is lost again.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	//mars:mapiter-ok keys are fully sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

@@ -18,6 +18,8 @@ package fsm
 import (
 	"fmt"
 	"sort"
+
+	"mars/internal/det"
 )
 
 // Item is one sequence element (a switch ID).
@@ -188,12 +190,11 @@ func frequentItems(db Dataset, minSup int) []Pattern {
 		}
 	}
 	var out []Pattern
-	for it, s := range sup {
-		if s >= minSup {
+	for _, it := range det.Keys(sup) {
+		if s := sup[it]; s >= minSup {
 			out = append(out, Pattern{Items: []Item{it}, Support: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Items[0] < out[j].Items[0] })
 	return out
 }
 
@@ -224,7 +225,8 @@ func (NaiveMiner) Mine(db Dataset, p Params) []Pattern {
 		}
 	}
 	var out []Pattern
-	for _, items := range cands {
+	for _, k := range det.Keys(cands) {
+		items := cands[k]
 		sup := 0
 		for _, seq := range db {
 			if Contains(seq, items, p.AllowGaps) {

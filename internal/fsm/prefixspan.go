@@ -1,5 +1,7 @@
 package fsm
 
+import "mars/internal/det"
+
 // PrefixSpan mines frequent sequences by prefix-projected pattern growth
 // (Pei et al., ICDE'01). For each frequent prefix it builds a projected
 // database of suffix positions and recurses on the items frequent within
@@ -61,7 +63,8 @@ func (*PrefixSpan) Mine(db Dataset, p Params) []Pattern {
 				}
 			}
 		}
-		for it, sup := range counts {
+		for _, it := range det.Keys(counts) {
+			sup := counts[it]
 			if sup < minSup {
 				continue
 			}

@@ -1,6 +1,6 @@
 package fsm
 
-import "sort"
+import "mars/internal/det"
 
 // Spade is Zaki's SPADE (Machine Learning 2001): sequences are mined in a
 // vertical layout where each pattern owns an id-list of (sequence,
@@ -42,12 +42,11 @@ func (s *Spade) Mine(db Dataset, p Params) []Pattern {
 		}
 	}
 	var items []Item
-	for it, list := range itemLists {
-		if supportOf(list) >= minSup {
+	for _, it := range det.Keys(itemLists) {
+		if supportOf(itemLists[it]) >= minSup {
 			items = append(items, it)
 		}
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 
 	// CM-SPADE: precompute which ordered pairs co-occur frequently enough
 	// to be worth joining.
@@ -168,11 +167,13 @@ func buildCMAP(db Dataset, minSup int, allowGaps bool) map[[2]Item]bool {
 				seen[[2]Item{seq[i], seq[i+1]}] = true
 			}
 		}
+		//mars:mapiter-ok integer counting into a map is order-independent
 		for k := range seen {
 			counts[k]++
 		}
 	}
 	out := map[[2]Item]bool{}
+	//mars:mapiter-ok building an unordered set is order-independent
 	for k, c := range counts {
 		if c >= minSup {
 			out[k] = true

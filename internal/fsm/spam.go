@@ -2,7 +2,8 @@ package fsm
 
 import (
 	"math/bits"
-	"sort"
+
+	"mars/internal/det"
 )
 
 // Spam is SPAM (Ayres et al., KDD'02): the database is encoded as one
@@ -101,12 +102,11 @@ func (s *Spam) Mine(db Dataset, p Params) []Pattern {
 	}
 
 	var items []Item
-	for it, bm := range itemBitmaps {
-		if s.countSupport(bdb, bm) >= minSup {
+	for _, it := range det.Keys(itemBitmaps) {
+		if s.countSupport(bdb, itemBitmaps[it]) >= minSup {
 			items = append(items, it)
 		}
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 
 	var cmap map[[2]Item]bool
 	if s.cmap {

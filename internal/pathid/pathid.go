@@ -314,6 +314,7 @@ func (t *Table) MemoryBytes() int { return t.MATEntryCount() * MATEntryBytes }
 // EntriesPerSwitch breaks down entry placement for resource reporting.
 func (t *Table) EntriesPerSwitch() map[topology.NodeID]int {
 	m := make(map[topology.NodeID]int)
+	//mars:mapiter-ok integer counting into a map is order-independent
 	for k := range t.entries {
 		m[k.sw]++
 	}

@@ -2,6 +2,7 @@ package rca
 
 import (
 	"mars/internal/dataplane"
+	"mars/internal/det"
 	"mars/internal/netsim"
 	"mars/internal/topology"
 )
@@ -87,12 +88,12 @@ func (a *Analyzer) runExtensions(sp scoredPattern, flowPkts map[dataplane.FlowID
 		BaselineQueueDepth: baseQ,
 		GlobalMedianRate:   globalMed,
 	}
-	for flow, cnt := range flowPkts {
+	for _, flow := range det.KeysFunc(flowPkts, flowLess) {
 		fs := stats[flow]
 		peak, base := fs.peakAndBaseline()
 		ev.Flows = append(ev.Flows, FlowEvidence{
 			Flow:                  flow,
-			PacketsThroughPattern: cnt,
+			PacketsThroughPattern: flowPkts[flow],
 			PeakEpochRate:         float64(peak),
 			BaselineEpochRate:     base,
 			AbnormalQueueMedian:   fs.abnormalQueueMedian(),

@@ -19,6 +19,7 @@ import (
 
 	"mars/internal/controlplane"
 	"mars/internal/dataplane"
+	"mars/internal/det"
 	"mars/internal/fsm"
 	"mars/internal/netsim"
 	"mars/internal/pathid"
@@ -319,7 +320,8 @@ func (a *Analyzer) dropAffectedFlows(d controlplane.Diagnosis) map[dataplane.Flo
 		}
 	}
 	affected := make(map[dataplane.FlowID]bool)
-	for flow, f := range byFlow {
+	for _, flow := range det.KeysFunc(byFlow, flowLess) {
+		f := byFlow[flow]
 		if f.gap {
 			affected[flow] = true
 			continue

@@ -5,8 +5,17 @@ import (
 
 	"mars/internal/controlplane"
 	"mars/internal/dataplane"
+	"mars/internal/det"
 	"mars/internal/topology"
 )
+
+// flowLess orders FlowIDs for deterministic iteration over flow-keyed maps.
+func flowLess(a, b dataplane.FlowID) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Sink < b.Sink
+}
 
 // flowStats summarizes one flow's diagnosis data for signature matching.
 type flowStats struct {
@@ -114,6 +123,7 @@ func (fs *flowStats) peakAndBaseline() (peak uint32, base float64) {
 		return 0, 0
 	}
 	counts := make([]float64, 0, len(fs.epochCounts))
+	//mars:mapiter-ok peak is a pure maximum and counts is fully sorted before use
 	for _, c := range fs.epochCounts {
 		if c > peak {
 			peak = c
@@ -129,6 +139,7 @@ func (fs *flowStats) peakAndBaseline() (peak uint32, base float64) {
 func globalMedianEpochCount(stats map[dataplane.FlowID]*flowStats) float64 {
 	var all []float64
 	for _, fs := range stats {
+		//mars:mapiter-ok all is fully sorted before use
 		for _, c := range fs.epochCounts {
 			all = append(all, float64(c))
 		}
@@ -193,7 +204,8 @@ func (a *Analyzer) ecmpDivergence(fs *flowStats, next topology.NodeID) (topology
 	}
 	// children[parent][child switch] = accumulated count via that branch.
 	children := make(map[nodeKey]map[topology.NodeID]float64)
-	for k, cnt := range fs.pathCounts {
+	for _, k := range det.Keys(fs.pathCounts) {
+		cnt := fs.pathCounts[k]
 		path := fs.paths[k]
 		for i := 0; i+1 < len(path); i++ {
 			pk := nodeKey{i, path[i]}
@@ -208,14 +220,21 @@ func (a *Analyzer) ecmpDivergence(fs *flowStats, next topology.NodeID) (topology
 	var bestSw topology.NodeID
 	var bestRatio float64
 	found := false
-	for pk, m := range children {
+	for _, pk := range det.KeysFunc(children, func(a, b nodeKey) bool {
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		return a.sw < b.sw
+	}) {
+		m := children[pk]
 		if len(m) < 2 {
 			continue
 		}
 		var max, min float64
 		var heavy topology.NodeID
 		first := true
-		for child, cnt := range m {
+		for _, child := range det.Keys(m) {
+			cnt := m[child]
 			if first || cnt > max {
 				max = cnt
 				heavy = child
@@ -330,11 +349,12 @@ func (a *Analyzer) analyzeLatency(d controlplane.Diagnosis) []Culprit {
 		}
 		flowPkts := make(map[dataplane.FlowID]float64)
 		var total float64
-		for flow, fs := range stats {
+		for _, flow := range det.KeysFunc(stats, flowLess) {
+			fs := stats[flow]
 			var cnt float64
-			for k, c := range fs.pathCounts {
+			for _, k := range det.Keys(fs.pathCounts) {
 				if fs.paths[k].Contains(sp.sub) {
-					cnt += c
+					cnt += fs.pathCounts[k]
 				}
 			}
 			if cnt > 0 {
@@ -357,7 +377,8 @@ func (a *Analyzer) analyzeLatency(d controlplane.Diagnosis) []Culprit {
 		// explains the congestion, so it claims the pattern (weighted by
 		// its packet share) and suppresses spurious switch-level causes.
 		burstFound := false
-		for flow, cnt := range flowPkts {
+		for _, flow := range det.KeysFunc(flowPkts, flowLess) {
+			cnt := flowPkts[flow]
 			fs := stats[flow]
 			if DebugTrace != nil {
 				peak, base := fs.peakAndBaseline()
@@ -381,6 +402,7 @@ func (a *Analyzer) analyzeLatency(d controlplane.Diagnosis) []Culprit {
 		// Queue-buildup signatures: pool the traversing flows' abnormal
 		// queue observations.
 		var depths []float64
+		//mars:mapiter-ok depths is fully sorted before use
 		for flow := range flowPkts {
 			depths = append(depths, stats[flow].abnormalQueueDepths...)
 		}
@@ -397,17 +419,17 @@ func (a *Analyzer) analyzeLatency(d controlplane.Diagnosis) []Culprit {
 			// two independent flows vote for the same upstream culprit.
 			votes := make(map[topology.NodeID]int)
 			weight := make(map[topology.NodeID]float64)
-			for flow, cnt := range flowPkts {
+			for _, flow := range det.KeysFunc(flowPkts, flowLess) {
 				if u, ok := a.ecmpUpstream(stats[flow], sp.sub); ok {
 					votes[u]++
-					weight[u] += cnt
+					weight[u] += flowPkts[flow]
 				}
 			}
 			var up topology.NodeID
 			found := false
 			best := 0.0
-			for u, n := range votes {
-				if n >= 2 && weight[u] > best {
+			for _, u := range det.Keys(votes) {
+				if n := votes[u]; n >= 2 && weight[u] > best {
 					up, found, best = u, true, weight[u]
 				}
 			}
@@ -466,11 +488,13 @@ func (a *Analyzer) analyzeDrop(d controlplane.Diagnosis) []Culprit {
 		// micro-burst symptom, not a link failure: attribute the pattern
 		// to the burst flow.
 		burstFound := false
-		for flow, fs := range stats {
+		for _, flow := range det.KeysFunc(stats, flowLess) {
+			fs := stats[flow]
 			if !fs.hasEpoch {
 				continue
 			}
 			covers := false
+			//mars:mapiter-ok pure existence check; any visit order finds the same answer
 			for k := range fs.pathCounts {
 				if fs.paths[k].Contains(sp.sub) {
 					covers = true
@@ -564,7 +588,13 @@ func mergeCulprits(cs []Culprit) []Culprit {
 	}
 	collapsed := make(map[key]bool)
 	var extra []Culprit
-	for g, ks := range portGroups {
+	for _, g := range det.KeysFunc(portGroups, func(a, b swKey) bool {
+		if a.cause != b.cause {
+			return a.cause < b.cause
+		}
+		return a.sw < b.sw
+	}) {
+		ks := portGroups[g]
 		if len(ks) < 2 {
 			continue
 		}
