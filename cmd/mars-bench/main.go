@@ -3,34 +3,51 @@
 // Usage:
 //
 //	mars-bench -exp table1 -trials 24
+//	mars-bench -exp table1 -trials 24 -workers 8 -progress
 //	mars-bench -exp fig9
 //	mars-bench -exp all
 //
 // Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
 // pathid, scale, ctrlchan, ablation-sbfl, ablation-fsmlen, ablation-miner,
 // ablation-cause.
+//
+// Trial-based experiments (table1, fig9, scale, ctrlchan, ablations) run
+// on the internal/harness worker pool: -workers bounds the pool (default
+// GOMAXPROCS) and -progress streams per-trial completions to stderr.
+// Results are byte-identical for any worker count — parallelism only
+// changes wall-clock time, which each run reports on stderr as a
+// machine-readable "timing:" line.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mars/internal/experiments"
+	"mars/internal/harness"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (or 'all')")
-		trials = flag.Int("trials", 8, "trials per fault kind (table1, ablations)")
-		seed   = flag.Int64("seed", 1000, "base random seed")
+		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
+		trials   = flag.Int("trials", 8, "trials per fault kind (table1, ablations)")
+		seed     = flag.Int64("seed", 1000, "base random seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "harness worker pool size for trial-based experiments")
+		progress = flag.Bool("progress", false, "stream per-trial progress to stderr")
 	)
 	flag.Parse()
 
+	opts := experiments.EngineOptions{Workers: *workers}
+	if *progress {
+		opts.Progress = progressPrinter()
+	}
+
 	runners := map[string]func(){
 		"table1": func() {
-			fmt.Print(experiments.RunTable1(*trials, *seed).Render())
+			fmt.Print(experiments.RunTable1With(opts, *trials, *seed).Render())
 		},
 		"fig2": func() {
 			fmt.Print(experiments.RunFig2(*seed).Render())
@@ -48,7 +65,7 @@ func main() {
 			fmt.Print(experiments.RunFig8(*seed, 30, 1200).Render())
 		},
 		"fig9": func() {
-			fmt.Print(experiments.RunFig9(*seed).Render())
+			fmt.Print(experiments.RunFig9With(opts, *seed).Render())
 		},
 		"fig10": func() {
 			fmt.Print(experiments.RunFig10().Render())
@@ -60,34 +77,40 @@ func main() {
 			fmt.Print(experiments.RunPathIDMemory().Render())
 		},
 		"scale": func() {
-			fmt.Print(experiments.RunScale([]int{4, 6, 8}).Render())
+			fmt.Print(experiments.RunScaleWith(opts, []int{4, 6, 8}).Render())
 		},
 		"ctrlchan": func() {
-			fmt.Print(experiments.RunCtrlChan(*trials/2+1, *seed).Render())
+			fmt.Print(experiments.RunCtrlChanWith(opts, *trials/2+1, *seed).Render())
 		},
 		"ablation-sbfl": func() {
-			fmt.Print(experiments.RunAblationSBFL(*trials/2+1, *seed).Render())
+			fmt.Print(experiments.RunAblationSBFLWith(opts, *trials/2+1, *seed).Render())
 		},
 		"ablation-fsmlen": func() {
-			fmt.Print(experiments.RunAblationFSMMaxLen(*trials/2+1, *seed).Render())
+			fmt.Print(experiments.RunAblationFSMMaxLenWith(opts, *trials/2+1, *seed).Render())
 		},
 		"ablation-miner": func() {
-			fmt.Print(experiments.RunAblationMiner(*trials/4+1, *seed).Render())
+			fmt.Print(experiments.RunAblationMinerWith(opts, *trials/4+1, *seed).Render())
 		},
 		"ablation-cause": func() {
-			fmt.Print(experiments.RunAblationCauseAccuracy(*trials/2+1, *seed).Render())
+			fmt.Print(experiments.RunAblationCauseAccuracyWith(opts, *trials/2+1, *seed).Render())
 		},
 	}
 	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
 		"fig10", "fig11", "pathid", "scale", "ctrlchan", "ablation-sbfl",
 		"ablation-fsmlen", "ablation-miner", "ablation-cause"}
 
+	timed := func(name string, run func()) {
+		start := time.Now() //mars:wallclock wall-time progress reporting for the operator
+		run()
+		fmt.Fprintf(os.Stderr, "timing: exp=%s workers=%d trials=%d wall=%.2fs\n",
+			name, *workers, *trials, time.Since(start).Seconds()) //mars:wallclock wall-time progress reporting for the operator
+	}
+
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("=== %s ===\n", name)
-			start := time.Now() //mars:wallclock wall-time progress reporting for the operator
-			runners[name]()
-			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds()) //mars:wallclock wall-time progress reporting for the operator
+			timed(name, runners[name])
+			fmt.Println()
 		}
 		return
 	}
@@ -100,5 +123,15 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
-	run()
+	timed(*exp, run)
+}
+
+// progressPrinter streams one stderr line per completed trial. The harness
+// may invoke it from concurrent workers; each call is a single Fprintf, so
+// lines interleave but never tear.
+func progressPrinter() harness.Progress {
+	return func(done, total int, t harness.Trial, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "progress: [%d/%d] %-44s %6.2fs\n",
+			done, total, t.Label, elapsed.Seconds())
+	}
 }

@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"mars/internal/controlplane"
-	"mars/internal/dataplane"
 	"mars/internal/faults"
 	"mars/internal/fsm"
+	"mars/internal/harness"
 	"mars/internal/metrics"
-	"mars/internal/netsim"
-	"mars/internal/pathid"
 	"mars/internal/rca"
 	"mars/internal/sbfl"
 )
@@ -39,78 +36,53 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-// runMARSVariant runs MARS trials across all fault kinds with a customized
-// RCA config, aggregating ranks.
-func runMARSVariant(trials int, baseSeed int64, mutate func(*rca.Config)) metrics.Localization {
-	var loc metrics.Localization
+// runMARSVariant runs MARS trials across all fault kinds on the harness
+// with a per-trial marsSystem factory (RCA config hooks, matching rules),
+// aggregating ranks in the historical (fault, trial) order. Variant trials
+// never touch the shared result cache: the variant knobs live outside
+// TrialConfig, so identical keys could mean different computations.
+func runMARSVariant(opts EngineOptions, trials int, baseSeed int64, label string, mk func() *marsSystem) metrics.Localization {
+	plan := opts.plan()
+	var (
+		tcs []TrialConfig
+		ts  []harness.Trial
+	)
 	for _, kind := range faults.Kinds() {
 		for i := 0; i < trials; i++ {
-			tc := DefaultTrialConfig(baseSeed+int64(kind)*1000+int64(i), kind)
-			r := runMARSTrialWith(tc, mutate)
-			loc.Add(r.Rank)
+			seed := plan.TrialSeed(baseSeed, int(kind), i)
+			tc := DefaultTrialConfig(seed, kind)
+			tc.CtrlSeed = plan.CtrlChanSeed(seed)
+			tcs = append(tcs, tc)
+			ts = append(ts, harness.Trial{
+				Index: len(ts), Seed: seed,
+				Label: fmt.Sprintf("ablation/%s/%s/t%d", label, kind, i),
+			})
 		}
+	}
+	results := mustRun(opts, ts, func(tr harness.Trial) TrialResult {
+		return runSystemTrial(mk(), tcs[tr.Index])
+	})
+	var loc metrics.Localization
+	for _, r := range results {
+		loc.Add(r.Rank)
 	}
 	return loc
-}
-
-// runMARSTrialWith is runMARSTrial with an RCA config hook.
-func runMARSTrialWith(tc TrialConfig, mutate func(*rca.Config)) TrialResult {
-	ft, router, sim := buildNet(tc, nil)
-	dcfg := dataplane.DefaultProgramConfig()
-	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
-	if err != nil {
-		panic(err)
-	}
-	prog := dataplane.New(dcfg, ft.Topology, table, nil)
-	// Rebuild the sim with the program attached (buildNet attached nil).
-	router = netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim = netsim.New(ft.Topology, router, prog, cfg, tc.Seed)
-	ccfg := controlplane.DefaultConfig()
-	ccfg.Seed = tc.Seed
-	ctrl := controlplane.New(ccfg, sim, prog)
-	prog.Notifier = ctrl
-	ctrl.Start()
-
-	rcfg := rca.DefaultConfig()
-	if mutate != nil {
-		mutate(&rcfg)
-	}
-	analyzer := rca.New(rcfg, table, ctrl)
-	var lists [][]rca.Culprit
-	detected := false
-	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
-		if d.Time >= tc.FaultStart {
-			detected = true
-			lists = append(lists, analyzer.Analyze(d))
-		}
-	}
-	installWorkload(tc, sim, ft)
-	inj := faults.NewInjector(sim, ft, router)
-	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
-	sim.Run(tc.Total)
-
-	merged := rca.MergeRanked(lists)
-	rank := 0
-	for i, c := range merged {
-		if marsMatches(c, gt) {
-			rank = i + 1
-			break
-		}
-	}
-	return TrialResult{System: SysMARS, GT: gt, Rank: rank, Detected: detected}
 }
 
 // RunAblationSBFL compares SBFL scoring formulas (relative risk is the
 // paper's choice).
 func RunAblationSBFL(trials int, baseSeed int64) *AblationResult {
+	return RunAblationSBFLWith(EngineOptions{}, trials, baseSeed)
+}
+
+// RunAblationSBFLWith is RunAblationSBFL on configured engine options.
+func RunAblationSBFLWith(opts EngineOptions, trials int, baseSeed int64) *AblationResult {
 	out := &AblationResult{Title: "Ablation: SBFL formula"}
 	for _, name := range []string{"relative-risk", "ochiai", "tarantula", "jaccard", "dstar"} {
 		formula := sbfl.Formulas()[name]
-		loc := runMARSVariant(trials, baseSeed, func(c *rca.Config) { c.Formula = formula })
+		loc := runMARSVariant(opts, trials, baseSeed, "sbfl-"+name, func() *marsSystem {
+			return &marsSystem{mutateRCA: func(c *rca.Config) { c.Formula = formula }}
+		})
 		out.Rows = append(out.Rows, AblationRow{Name: name, Loc: loc})
 	}
 	return out
@@ -119,9 +91,17 @@ func RunAblationSBFL(trials int, baseSeed int64) *AblationResult {
 // RunAblationFSMMaxLen compares culprit pattern length caps (MARS uses 2:
 // switches and links).
 func RunAblationFSMMaxLen(trials int, baseSeed int64) *AblationResult {
+	return RunAblationFSMMaxLenWith(EngineOptions{}, trials, baseSeed)
+}
+
+// RunAblationFSMMaxLenWith is RunAblationFSMMaxLen on configured options.
+func RunAblationFSMMaxLenWith(opts EngineOptions, trials int, baseSeed int64) *AblationResult {
 	out := &AblationResult{Title: "Ablation: FSM max pattern length"}
 	for _, maxLen := range []int{1, 2, 3} {
-		loc := runMARSVariant(trials, baseSeed, func(c *rca.Config) { c.MaxPatternLen = maxLen })
+		maxLen := maxLen
+		loc := runMARSVariant(opts, trials, baseSeed, fmt.Sprintf("fsmlen-%d", maxLen), func() *marsSystem {
+			return &marsSystem{mutateRCA: func(c *rca.Config) { c.MaxPatternLen = maxLen }}
+		})
 		out.Rows = append(out.Rows, AblationRow{Name: fmt.Sprintf("maxlen=%d", maxLen), Loc: loc})
 	}
 	return out
@@ -130,10 +110,17 @@ func RunAblationFSMMaxLen(trials int, baseSeed int64) *AblationResult {
 // RunAblationMiner confirms miner choice does not change results (they
 // return identical pattern sets), only runtime.
 func RunAblationMiner(trials int, baseSeed int64) *AblationResult {
+	return RunAblationMinerWith(EngineOptions{}, trials, baseSeed)
+}
+
+// RunAblationMinerWith is RunAblationMiner on configured engine options.
+func RunAblationMinerWith(opts EngineOptions, trials int, baseSeed int64) *AblationResult {
 	out := &AblationResult{Title: "Ablation: FSM algorithm (results must match)"}
 	for _, name := range []string{"PrefixSpan", "GSP", "CM-SPADE"} {
 		m := fsm.ByName(name)
-		loc := runMARSVariant(trials, baseSeed, func(c *rca.Config) { c.Miner = m })
+		loc := runMARSVariant(opts, trials, baseSeed, "miner-"+name, func() *marsSystem {
+			return &marsSystem{mutateRCA: func(c *rca.Config) { c.Miner = m }}
+		})
 		out.Rows = append(out.Rows, AblationRow{Name: name, Loc: loc})
 	}
 	return out
@@ -143,81 +130,23 @@ func RunAblationMiner(trials int, baseSeed int64) *AblationResult {
 // (the diagnosed cause class must equal the injected class, in addition to
 // the location).
 func RunAblationCauseAccuracy(trials int, baseSeed int64) *AblationResult {
+	return RunAblationCauseAccuracyWith(EngineOptions{}, trials, baseSeed)
+}
+
+// RunAblationCauseAccuracyWith is RunAblationCauseAccuracy on configured
+// engine options.
+func RunAblationCauseAccuracyWith(opts EngineOptions, trials int, baseSeed int64) *AblationResult {
 	out := &AblationResult{Title: "Ablation: location-only vs location+cause matching"}
 	for _, strict := range []bool{false, true} {
-		var loc metrics.Localization
-		for _, kind := range faults.Kinds() {
-			for i := 0; i < trials; i++ {
-				tc := DefaultTrialConfig(baseSeed+int64(kind)*1000+int64(i), kind)
-				r := runMARSTrialStrict(tc, strict)
-				loc.Add(r.Rank)
-			}
-		}
+		strict := strict
 		name := "location"
 		if strict {
 			name = "location+cause"
 		}
+		loc := runMARSVariant(opts, trials, baseSeed, name, func() *marsSystem {
+			return &marsSystem{strictCause: strict}
+		})
 		out.Rows = append(out.Rows, AblationRow{Name: name, Loc: loc})
 	}
 	return out
-}
-
-// runMARSTrialStrict runs one MARS trial with selectable matching.
-func runMARSTrialStrict(tc TrialConfig, strict bool) TrialResult {
-	res := runMARSTrialLists(tc)
-	rank := 0
-	for i, c := range res.merged {
-		ok := marsMatches(c, res.gt)
-		if strict {
-			ok = marsCauseMatches(c, res.gt)
-		}
-		if ok {
-			rank = i + 1
-			break
-		}
-	}
-	return TrialResult{System: SysMARS, GT: res.gt, Rank: rank, Detected: res.detected}
-}
-
-type marsTrialLists struct {
-	merged   []rca.Culprit
-	gt       faults.GroundTruth
-	detected bool
-}
-
-// runMARSTrialLists factors the common MARS trial body returning the raw
-// merged list for custom scoring.
-func runMARSTrialLists(tc TrialConfig) marsTrialLists {
-	ft, _, _ := buildNet(tc, nil)
-	dcfg := dataplane.DefaultProgramConfig()
-	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
-	if err != nil {
-		panic(err)
-	}
-	prog := dataplane.New(dcfg, ft.Topology, table, nil)
-	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim := netsim.New(ft.Topology, router, prog, cfg, tc.Seed)
-	ccfg := controlplane.DefaultConfig()
-	ccfg.Seed = tc.Seed
-	ctrl := controlplane.New(ccfg, sim, prog)
-	prog.Notifier = ctrl
-	ctrl.Start()
-	analyzer := rca.New(rca.DefaultConfig(), table, ctrl)
-	var lists [][]rca.Culprit
-	detected := false
-	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
-		if d.Time >= tc.FaultStart {
-			detected = true
-			lists = append(lists, analyzer.Analyze(d))
-		}
-	}
-	installWorkload(tc, sim, ft)
-	inj := faults.NewInjector(sim, ft, router)
-	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
-	sim.Run(tc.Total)
-	return marsTrialLists{merged: rca.MergeRanked(lists), gt: gt, detected: detected}
 }

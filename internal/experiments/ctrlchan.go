@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mars/internal/faults"
+	"mars/internal/harness"
 	"mars/internal/metrics"
 	"mars/internal/netsim"
 )
@@ -43,37 +44,68 @@ type CtrlChanResult struct {
 	Rows   []CtrlChanRow
 }
 
-// RunCtrlChan sweeps control-channel loss over the Table 1 fault suite.
-// Seeds derive exactly as in RunTable1, so every sweep point faces the
-// same fault sequence and the whole experiment is deterministic under a
-// fixed base seed.
+// RunCtrlChan sweeps control-channel loss with the default engine options.
 func RunCtrlChan(trials int, baseSeed int64) *CtrlChanResult {
+	return RunCtrlChanWith(EngineOptions{}, trials, baseSeed)
+}
+
+// RunCtrlChanWith sweeps control-channel loss over the Table 1 fault suite
+// on the harness. Seeds derive exactly as in RunTable1, so every sweep
+// point faces the same fault sequence; per-row aggregation walks results
+// in the historical (loss, mode, fault, trial) nesting order, keeping the
+// whole experiment deterministic under a fixed base seed and any worker
+// count.
+func RunCtrlChanWith(opts EngineOptions, trials int, baseSeed int64) *CtrlChanResult {
+	plan := opts.plan()
 	res := &CtrlChanResult{Trials: trials}
+	var (
+		tcs   []TrialConfig
+		rowOf []int
+		ts    []harness.Trial
+	)
 	for _, loss := range CtrlChanLosses {
 		for _, retry := range []bool{true, false} {
-			row := CtrlChanRow{Loss: loss, Retry: retry}
-			var latSum netsim.Time
+			res.Rows = append(res.Rows, CtrlChanRow{Loss: loss, Retry: retry})
+			row := len(res.Rows) - 1
 			for _, kind := range faults.Kinds() {
 				for t := 0; t < trials; t++ {
-					seed := baseSeed + int64(kind)*1000 + int64(t)
+					seed := plan.TrialSeed(baseSeed, int(kind), t)
 					tc := DefaultTrialConfig(seed, kind)
+					tc.CtrlSeed = plan.CtrlChanSeed(seed)
 					tc.CtrlLossy = true
 					tc.CtrlLoss = loss
 					tc.CtrlNoRetry = !retry
-					r := runMARSTrial(tc)
-					row.Loc.Add(r.Rank)
-					row.Diagnoses += r.Diagnoses
-					row.Partial += r.PartialDiagnoses
-					if r.DiagDetected {
-						row.Detected++
-						latSum += r.DiagLatency
+					tcs = append(tcs, tc)
+					rowOf = append(rowOf, row)
+					mode := "retry"
+					if !retry {
+						mode = "no-retry"
 					}
+					ts = append(ts, harness.Trial{
+						Index: len(ts), Seed: seed,
+						Label: fmt.Sprintf("ctrlchan/%.0f%%/%s/%s/t%d", 100*loss, mode, kind, t),
+					})
 				}
 			}
-			if row.Detected > 0 {
-				row.MeanDiagLatency = latSum / netsim.Time(row.Detected)
-			}
-			res.Rows = append(res.Rows, row)
+		}
+	}
+	results := mustRun(opts, ts, func(tr harness.Trial) TrialResult {
+		return opts.runTrial(SysMARS, tcs[tr.Index])
+	})
+	latSum := make([]netsim.Time, len(res.Rows))
+	for i, r := range results {
+		row := &res.Rows[rowOf[i]]
+		row.Loc.Add(r.Rank)
+		row.Diagnoses += r.Diagnoses
+		row.Partial += r.PartialDiagnoses
+		if r.DiagDetected {
+			row.Detected++
+			latSum[rowOf[i]] += r.DiagLatency
+		}
+	}
+	for i := range res.Rows {
+		if res.Rows[i].Detected > 0 {
+			res.Rows[i].MeanDiagLatency = latSum[i] / netsim.Time(res.Rows[i].Detected)
 		}
 	}
 	return res

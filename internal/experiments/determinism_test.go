@@ -23,7 +23,7 @@ import (
 // randomness were the ways runs used to diverge).
 func culpritDigest(t *testing.T, tc TrialConfig) string {
 	t.Helper()
-	ft, _, _ := buildNet(tc, nil)
+	ft := newFatTree(tc)
 	dcfg := dataplane.DefaultProgramConfig()
 	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"mars/internal/dataplane"
 	"mars/internal/faults"
+	"mars/internal/harness"
 	"mars/internal/metrics"
 	"mars/internal/netsim"
 	"mars/internal/pathid"
@@ -567,28 +568,62 @@ type Fig9Result struct {
 	Rows []Fig9Row
 }
 
-// RunFig9 measures overhead in the same Table 1 scenarios: telemetry bytes
-// are extra in-band header bytes crossing links; diagnosis bytes are
-// control-channel exchanges. One trial per fault kind per system.
+// RunFig9 measures overhead with the default engine options.
 func RunFig9(baseSeed int64) *Fig9Result {
-	out := &Fig9Result{}
+	return RunFig9With(EngineOptions{}, baseSeed)
+}
+
+// RunFig9With measures overhead in the same Table 1 scenarios: telemetry
+// bytes are extra in-band header bytes crossing links; diagnosis bytes are
+// control-channel exchanges. One trial per fault kind per system — the
+// SeedPlan's trial-0 seeds, i.e. exactly the scenarios Table 1 already
+// ran, so when RunTable1 preceded this in the same process (as in
+// `mars-bench -exp all`), every trial is recalled from the shared result
+// cache instead of re-simulated.
+func RunFig9With(opts EngineOptions, baseSeed int64) *Fig9Result {
+	plan := opts.plan()
+	type unit struct {
+		sys  SystemKind
+		kind faults.Kind
+	}
+	var (
+		units []unit
+		tcs   []TrialConfig
+		ts    []harness.Trial
+	)
 	for _, sys := range Systems() {
-		var tel, diag, total float64
-		n := 0
 		for _, kind := range faults.Kinds() {
-			tc := DefaultTrialConfig(baseSeed+int64(kind), kind)
-			r := RunTrial(sys, tc)
-			tel += float64(r.TelemetryBytes)
-			diag += float64(r.DiagnosisBytes)
-			total += float64(r.TotalLinkBytes)
-			n++
+			seed := plan.TrialSeed(baseSeed, int(kind), 0)
+			tc := DefaultTrialConfig(seed, kind)
+			tc.CtrlSeed = plan.CtrlChanSeed(seed)
+			units = append(units, unit{sys, kind})
+			tcs = append(tcs, tc)
+			ts = append(ts, harness.Trial{
+				Index: len(ts), Seed: seed,
+				Label: fmt.Sprintf("fig9/%s/%s", sys, kind),
+			})
 		}
-		out.Rows = append(out.Rows, Fig9Row{
-			System:         sys,
-			TelemetryBytes: tel / float64(n),
-			DiagnosisBytes: diag / float64(n),
-			PctOfTraffic:   100 * (tel + diag) / total,
-		})
+	}
+	results := mustRun(opts, ts, func(tr harness.Trial) TrialResult {
+		return opts.runTrial(units[tr.Index].sys, tcs[tr.Index])
+	})
+	out := &Fig9Result{}
+	var tel, diag, total float64
+	n := 0
+	for i, r := range results {
+		tel += float64(r.TelemetryBytes)
+		diag += float64(r.DiagnosisBytes)
+		total += float64(r.TotalLinkBytes)
+		n++
+		if i+1 == len(results) || units[i+1].sys != units[i].sys {
+			out.Rows = append(out.Rows, Fig9Row{
+				System:         units[i].sys,
+				TelemetryBytes: tel / float64(n),
+				DiagnosisBytes: diag / float64(n),
+				PctOfTraffic:   100 * (tel + diag) / total,
+			})
+			tel, diag, total, n = 0, 0, 0, 0
+		}
 	}
 	return out
 }

@@ -2,18 +2,22 @@
 // paper's evaluation (§5), shared by cmd/mars-bench and the root
 // benchmarks. Each driver returns a plain data structure plus a formatted
 // text rendering, so EXPERIMENTS.md can record paper-vs-measured rows.
+//
+// Trial-based drivers declare their (system x fault x trial) matrix to the
+// internal/harness engine, which derives seeds through a SeedPlan,
+// executes trials on a bounded worker pool, and returns results in
+// deterministic trial order — output is byte-identical for any worker
+// count. The systems themselves are wired through the SystemUnderTest
+// interface (systems.go), so MARS and the three baselines share one
+// substrate-construction path.
 package experiments
 
 import (
-	"mars/internal/baselines/intsight"
-	"mars/internal/baselines/spidermon"
 	"mars/internal/baselines/syndb"
-	"mars/internal/controlplane"
-	"mars/internal/ctrlchan"
 	"mars/internal/dataplane"
 	"mars/internal/faults"
+	"mars/internal/harness"
 	"mars/internal/netsim"
-	"mars/internal/pathid"
 	"mars/internal/rca"
 	"mars/internal/topology"
 	"mars/internal/workload"
@@ -64,6 +68,10 @@ type TrialConfig struct {
 	// SimCfg overrides the physical parameters (zero = scaled defaults).
 	SimCfg *netsim.Config
 
+	// CtrlSeed seeds the control channel's own random stream, derived from
+	// Seed by the sweep's harness.SeedPlan (constructors always fill it;
+	// zero falls back to the legacy Seed+7 offset).
+	CtrlSeed int64
 	// CtrlLossy runs MARS over the realistic control channel model
 	// (1 ms ± jitter latency, duplication, reordering) instead of the
 	// perfect synchronous one, with CtrlLoss symmetric message loss.
@@ -90,6 +98,7 @@ func DefaultTrialConfig(seed int64, kind faults.Kind) TrialConfig {
 		FaultStart: 2 * netsim.Second,
 		FaultDur:   1500 * netsim.Millisecond,
 		Total:      4 * netsim.Second,
+		CtrlSeed:   harness.LegacyPlan{}.CtrlChanSeed(seed),
 	}
 }
 
@@ -127,21 +136,6 @@ type TrialResult struct {
 	PartialDiagnoses int64
 }
 
-// buildNet constructs the shared substrate of a trial.
-func buildNet(tc TrialConfig, hooks netsim.Hooks) (*topology.FatTree, *netsim.ECMPRouter, *netsim.Simulator) {
-	ft, err := topology.NewFatTree(tc.K)
-	if err != nil {
-		panic(err)
-	}
-	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim := netsim.New(ft.Topology, router, hooks, cfg, tc.Seed)
-	return ft, router, sim
-}
-
 // installWorkload starts the background mesh and returns the flows.
 func installWorkload(tc TrialConfig, sim *netsim.Simulator, ft *topology.FatTree) []*workload.Flow {
 	return workload.RandomBackground(sim, ft, workload.BackgroundConfig{
@@ -166,92 +160,16 @@ func totalLinkBytes(sim *netsim.Simulator) int64 {
 }
 
 // RunTrial executes one trial for one system and scores it against the
-// injected ground truth.
+// injected ground truth. Every system goes through the same
+// SystemUnderTest substrate path (systems.go).
 func RunTrial(sys SystemKind, tc TrialConfig) TrialResult {
-	switch sys {
-	case SysMARS:
-		return runMARSTrial(tc)
-	case SysSpiderMon:
-		return runSpiderMonTrial(tc)
-	case SysIntSight:
-		return runIntSightTrial(tc)
-	default:
-		return runSyNDBTrial(tc)
-	}
+	return runSystemTrial(newSystem(sys), tc)
 }
 
-// --- MARS -----------------------------------------------------------------
-
+// runMARSTrial runs one MARS trial through the unified substrate path
+// (kept as a named helper for the control-channel tests).
 func runMARSTrial(tc TrialConfig) TrialResult {
-	ft, _, _ := buildNet(tc, nil) // build once for the PathID table
-	dcfg := dataplane.DefaultProgramConfig()
-	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
-	if err != nil {
-		panic(err)
-	}
-	prog := dataplane.New(dcfg, ft.Topology, table, nil)
-	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim := netsim.New(ft.Topology, router, prog, cfg, tc.Seed)
-	chcfg := ctrlchan.Config{Seed: tc.Seed + 7}
-	if tc.CtrlLossy {
-		chcfg = ctrlchan.Lossy(tc.CtrlLoss, tc.Seed+7)
-	}
-	ch := ctrlchan.New(sim, chcfg)
-	ccfg := controlplane.DefaultConfig()
-	ccfg.Seed = tc.Seed
-	if tc.CtrlNoRetry {
-		ccfg.MaxRetries = 0
-	}
-	ctrl := controlplane.NewWithChannel(ccfg, sim, prog, ch)
-	prog.Notifier = ctrl
-	ctrl.Start()
-
-	analyzer := rca.New(rca.DefaultConfig(), table, ctrl)
-	var lists [][]rca.Culprit
-	detected := false
-	var firstDiag netsim.Time
-	var diagnoses, partial int64
-	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
-		if d.Time >= tc.FaultStart {
-			if !detected {
-				detected = true
-				firstDiag = d.Time - tc.FaultStart
-			}
-			diagnoses++
-			if d.Partial() {
-				partial++
-			}
-			lists = append(lists, analyzer.Analyze(d))
-		}
-	}
-
-	ftree := ft
-	installWorkload(tc, sim, ftree)
-	inj := faults.NewInjector(sim, ftree, router)
-	inj.Chan = ch
-	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
-	sim.Run(tc.Total)
-
-	merged := rca.MergeRanked(lists)
-	rank := 0
-	for i, c := range merged {
-		if marsMatches(c, gt) {
-			rank = i + 1
-			break
-		}
-	}
-	return TrialResult{
-		System: SysMARS, GT: gt, Rank: rank, Detected: detected,
-		TelemetryBytes: prog.Stats.TelemetryLinkBytes,
-		DiagnosisBytes: ctrl.Bytes.DiagnosisBytes() + ctrl.Bytes.RefreshBytes + ctrl.Bytes.ThresholdPushBytes,
-		TotalLinkBytes: totalLinkBytes(sim),
-		DiagLatency:    firstDiag, DiagDetected: detected,
-		Diagnoses: diagnoses, PartialDiagnoses: partial,
-	}
+	return runSystemTrial(&marsSystem{}, tc)
 }
 
 // marsMatches decides whether a MARS culprit locates the injected fault.
@@ -288,41 +206,6 @@ func marsCauseMatches(c rca.Culprit, gt faults.GroundTruth) bool {
 	return c.Cause == want && marsMatches(c, gt)
 }
 
-// --- SpiderMon --------------------------------------------------------------
-
-func runSpiderMonTrial(tc TrialConfig) TrialResult {
-	ft, err := topology.NewFatTree(tc.K)
-	if err != nil {
-		panic(err)
-	}
-	sys := spidermon.New(spidermon.DefaultConfig(), ft.Topology)
-	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim := netsim.New(ft.Topology, router, sys, cfg, tc.Seed)
-	installWorkload(tc, sim, ft)
-	inj := faults.NewInjector(sim, ft, router)
-	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
-	sim.Run(tc.Total)
-
-	culprits := sys.Localize()
-	rank := 0
-	for i, c := range culprits {
-		if baselineMatches(c.Switches, c.FlowID, true, gt) {
-			rank = i + 1
-			break
-		}
-	}
-	return TrialResult{
-		System: SysSpiderMon, GT: gt, Rank: rank, Detected: sys.Detected(),
-		TelemetryBytes: sys.TelemetryBytes,
-		DiagnosisBytes: sys.DiagnosisBytes,
-		TotalLinkBytes: totalLinkBytes(sim),
-	}
-}
-
 // baselineMatches scores a baseline culprit: flow-identity match for
 // micro-bursts (when the entry names a flow), switch containment otherwise.
 func baselineMatches(switches []topology.NodeID, flowID dataplane.FlowID, hasFlow bool, gt faults.GroundTruth) bool {
@@ -340,47 +223,7 @@ func baselineMatches(switches []topology.NodeID, flowID dataplane.FlowID, hasFlo
 	return false
 }
 
-// --- IntSight ---------------------------------------------------------------
-
-func runIntSightTrial(tc TrialConfig) TrialResult {
-	ft, err := topology.NewFatTree(tc.K)
-	if err != nil {
-		panic(err)
-	}
-	sys := intsight.New(intsight.DefaultConfig(), ft.Topology)
-	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim := netsim.New(ft.Topology, router, sys, cfg, tc.Seed)
-	installWorkload(tc, sim, ft)
-	inj := faults.NewInjector(sim, ft, router)
-	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
-	sim.Run(tc.Total)
-
-	culprits := sys.Localize()
-	rank := 0
-	for i, c := range culprits {
-		var sws []topology.NodeID
-		if c.Switch >= 0 {
-			sws = []topology.NodeID{c.Switch}
-		}
-		if baselineMatches(sws, c.FlowID, c.Switch < 0, gt) {
-			rank = i + 1
-			break
-		}
-	}
-	return TrialResult{
-		System: SysIntSight, GT: gt, Rank: rank, Detected: sys.Detected(),
-		TelemetryBytes: sys.TelemetryBytes,
-		DiagnosisBytes: sys.DiagnosisBytes,
-		TotalLinkBytes: totalLinkBytes(sim),
-	}
-}
-
-// --- SyNDB -------------------------------------------------------------------
-
+// syndbQuery maps an injected fault to the expert query SyNDB is given.
 func syndbQuery(k faults.Kind) syndb.Query {
 	switch k {
 	case faults.MicroBurst:
@@ -393,42 +236,5 @@ func syndbQuery(k faults.Kind) syndb.Query {
 		return syndb.QueryDelay
 	default:
 		return syndb.QueryDrop
-	}
-}
-
-func runSyNDBTrial(tc TrialConfig) TrialResult {
-	ft, err := topology.NewFatTree(tc.K)
-	if err != nil {
-		panic(err)
-	}
-	sys := syndb.New(syndb.DefaultConfig(), ft.Topology)
-	router := netsim.NewECMPRouter(ft.Topology, uint64(tc.Seed))
-	cfg := scaledSimConfig()
-	if tc.SimCfg != nil {
-		cfg = *tc.SimCfg
-	}
-	sim := netsim.New(ft.Topology, router, sys, cfg, tc.Seed)
-	installWorkload(tc, sim, ft)
-	inj := faults.NewInjector(sim, ft, router)
-	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
-	sim.Run(tc.Total)
-
-	culprits := sys.Localize(syndbQuery(tc.Fault))
-	rank := 0
-	for i, c := range culprits {
-		var sws []topology.NodeID
-		if c.Switch >= 0 {
-			sws = []topology.NodeID{c.Switch}
-		}
-		if baselineMatches(sws, c.FlowID, c.Switch < 0, gt) {
-			rank = i + 1
-			break
-		}
-	}
-	return TrialResult{
-		System: SysSyNDB, GT: gt, Rank: rank, Detected: true, // always-on capture
-		TelemetryBytes: sys.TelemetryBytes,
-		DiagnosisBytes: sys.DiagnosisBytes,
-		TotalLinkBytes: totalLinkBytes(sim),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mars/internal/faults"
+	"mars/internal/harness"
 	"mars/internal/metrics"
 )
 
@@ -20,9 +21,28 @@ type Table1Result struct {
 	Cells map[faults.Kind]map[SystemKind]*Table1Cell
 }
 
-// RunTable1 runs `trials` trials per fault kind per system. Seeds are
-// derived from baseSeed so every system faces the same fault sequence.
+// RunTable1 runs `trials` trials per fault kind per system with the
+// default engine options (legacy seeds, GOMAXPROCS workers).
 func RunTable1(trials int, baseSeed int64) *Table1Result {
+	return RunTable1With(EngineOptions{}, trials, baseSeed)
+}
+
+// RunTable1With runs the Table 1 matrix on the harness. Seeds derive from
+// baseSeed through the options' SeedPlan so every system faces the same
+// fault sequence; trials execute on the worker pool and aggregate in the
+// historical (fault, trial, system) nesting order, so the result is
+// byte-identical for any worker count.
+func RunTable1With(opts EngineOptions, trials int, baseSeed int64) *Table1Result {
+	plan := opts.plan()
+	type unit struct {
+		kind faults.Kind
+		sys  SystemKind
+	}
+	var (
+		units []unit
+		tcs   []TrialConfig
+		ts    []harness.Trial
+	)
 	res := &Table1Result{
 		Trials: trials,
 		Cells:  make(map[faults.Kind]map[SystemKind]*Table1Cell),
@@ -33,13 +53,24 @@ func RunTable1(trials int, baseSeed int64) *Table1Result {
 			res.Cells[kind][sys] = &Table1Cell{}
 		}
 		for t := 0; t < trials; t++ {
-			seed := baseSeed + int64(kind)*1000 + int64(t)
+			seed := plan.TrialSeed(baseSeed, int(kind), t)
 			tc := DefaultTrialConfig(seed, kind)
+			tc.CtrlSeed = plan.CtrlChanSeed(seed)
 			for _, sys := range Systems() {
-				r := RunTrial(sys, tc)
-				res.Cells[kind][sys].Loc.Add(r.Rank)
+				units = append(units, unit{kind, sys})
+				tcs = append(tcs, tc)
+				ts = append(ts, harness.Trial{
+					Index: len(ts), Seed: seed,
+					Label: fmt.Sprintf("table1/%s/%s/t%d", kind, sys, t),
+				})
 			}
 		}
+	}
+	results := mustRun(opts, ts, func(tr harness.Trial) TrialResult {
+		return opts.runTrial(units[tr.Index].sys, tcs[tr.Index])
+	})
+	for i, r := range results {
+		res.Cells[units[i].kind][units[i].sys].Loc.Add(r.Rank)
 	}
 	return res
 }
