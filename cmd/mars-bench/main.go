@@ -8,8 +8,12 @@
 //	mars-bench -exp all
 //
 // Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
-// pathid, scale, ctrlchan, ablation-sbfl, ablation-fsmlen, ablation-miner,
-// ablation-cause.
+// pathid, scale, ctrlchan, overhead, ablation-sbfl, ablation-fsmlen,
+// ablation-miner, ablation-cause.
+//
+// The overhead experiment sweeps the registered telemetry codecs
+// (internal/telemetry) over the Table 1 fault suite and renders the
+// bytes/packet vs localization-accuracy frontier.
 //
 // Trial-based experiments (table1, fig9, scale, ctrlchan, ablations) run
 // on the internal/harness worker pool: -workers bounds the pool (default
@@ -82,6 +86,9 @@ func main() {
 		"ctrlchan": func() {
 			fmt.Print(experiments.RunCtrlChanWith(opts, *trials/2+1, *seed).Render())
 		},
+		"overhead": func() {
+			fmt.Print(experiments.RunOverheadWith(opts, *trials, *seed).Render())
+		},
 		"ablation-sbfl": func() {
 			fmt.Print(experiments.RunAblationSBFLWith(opts, *trials/2+1, *seed).Render())
 		},
@@ -96,8 +103,8 @@ func main() {
 		},
 	}
 	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
-		"fig10", "fig11", "pathid", "scale", "ctrlchan", "ablation-sbfl",
-		"ablation-fsmlen", "ablation-miner", "ablation-cause"}
+		"fig10", "fig11", "pathid", "scale", "ctrlchan", "overhead",
+		"ablation-sbfl", "ablation-fsmlen", "ablation-miner", "ablation-cause"}
 
 	timed := func(name string, run func()) {
 		start := time.Now() //mars:wallclock wall-time progress reporting for the operator

@@ -6,6 +6,7 @@
 //	mars-sim -fault delay -seed 7 -flows 96 -rate 220 -top 8
 //	mars-sim -fault micro-burst
 //	mars-sim -fault drop -k 4 -dur 1.5
+//	mars-sim -fault delay -codec pintlike
 package main
 
 import (
@@ -28,29 +29,21 @@ func main() {
 		dur       = flag.Float64("dur", 1.5, "fault duration (s)")
 		total     = flag.Float64("total", 4.0, "total simulated time (s)")
 		top       = flag.Int("top", 8, "culprits to print")
+		codec     = flag.String("codec", "", "telemetry codec: mars11 (default), perhop, pintlike, sampled")
 		verbose   = flag.Bool("v", false, "print each diagnosis as it happens")
 	)
 	flag.Parse()
 
-	var kind mars.FaultKind
-	found := false
-	for _, f := range faults.Kinds() {
-		if f.String() == *faultName {
-			kind, found = f, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown fault %q; valid:", *faultName)
-		for _, f := range faults.Kinds() {
-			fmt.Fprintf(os.Stderr, " %s", f)
-		}
-		fmt.Fprintln(os.Stderr)
+	kind, err := faults.Parse(*faultName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := mars.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.FatTreeK = *k
+	cfg.Codec = *codec
 	sys, err := mars.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,58 @@
+// Codec-width corpus: <base>Codec types must declare wire widths their
+// Marshal<Base> forms realize. The check is package-wide, so this file
+// deliberately is not named wire.go.
+package wirewidth
+
+// goodCodec declares the width MarshalGood (wire.go) actually produces.
+type goodCodec struct{}
+
+func (goodCodec) WireBytes() int { return 7 }
+func (goodCodec) HopBytes() int  { return 0 } // fixed-width: no hop marshaller needed
+
+// lostCodec promises bytes nobody marshals.
+type lostCodec struct{}
+
+func (lostCodec) WireBytes() int { return 5 } // want `lostCodec.WireBytes\(\) declares 5 wire bytes but the package has no MarshalLost`
+
+// slimCodec disagrees with its own marshaller.
+type slimCodec struct{}
+
+func (slimCodec) WireBytes() int { return 9 } // want `slimCodec.WireBytes\(\) = 9 but MarshalSlim produces \[4\]byte`
+
+func MarshalSlim(h Hdr) [4]byte {
+	var b [4]byte
+	b[0] = h.C
+	return b
+}
+
+// hoppyCodec grows per hop, so the hop form is checked too.
+type hoppyCodec struct{}
+
+func (hoppyCodec) WireBytes() int { return 6 }
+func (hoppyCodec) HopBytes() int  { return 4 } // want `hoppyCodec.HopBytes\(\) = 4 but MarshalHoppyHop produces \[8\]byte`
+
+func MarshalHoppy(h Hdr) [6]byte {
+	var b [6]byte
+	b[0] = h.C
+	return b
+}
+
+func MarshalHoppyHop(h Hdr) [8]byte {
+	var b [8]byte
+	b[0] = h.C
+	return b
+}
+
+// dynCodec's width is configuration-dependent; the analyzer cannot pin a
+// constant and stays silent.
+type dynCodec struct{ n int }
+
+func (c dynCodec) WireBytes() int { return c.n }
+
+// growCodec marshals into a variable-length slice, so the declared width
+// cannot be checked against a fixed form.
+type growCodec struct{}
+
+func (growCodec) WireBytes() int { return 3 } // want `growCodec.WireBytes\(\) declares 3 wire bytes but MarshalGrow does not return a fixed \[N\]byte form`
+
+func MarshalGrow(h Hdr) []byte { return []byte{h.C} }

@@ -19,6 +19,12 @@ import (
 // is additionally pinned to 11. Layout drift (a widened counter, a moved
 // field, an encoder/decoder that disagree) becomes a lint failure instead
 // of a silent corruption.
+//
+// The analyzer is additionally codec-aware: a type named <base>Codec
+// whose WireBytes (or HopBytes) method returns a constant N must be
+// backed by a Marshal<Base> (or Marshal<Base>Hop) producing exactly
+// [N]byte, so a codec can never promise one wire width to the simulator's
+// byte accounting while its marshaller emits another.
 var Wirewidth = &Analyzer{
 	Name: "wirewidth",
 	Doc:  "check wire.go encode/decode symmetry and field-width accounting",
@@ -48,6 +54,122 @@ func runWirewidth(p *Pass) {
 		}
 		checkWireFile(p, f)
 	}
+	checkCodecWidths(p)
+}
+
+// codecWidthMethods maps the dataplane.Codec width methods to the suffix
+// of the marshaller that must realize the declared width.
+var codecWidthMethods = map[string]string{
+	"WireBytes": "",    // Marshal<Base>
+	"HopBytes":  "Hop", // Marshal<Base>Hop
+}
+
+// checkCodecWidths cross-checks every <base>Codec type's declared wire
+// widths against the package's marshallers. The check is package-wide:
+// codec types typically live next to their behavior (mars11.go,
+// perhop.go, ...) while the marshallers live in wire.go.
+func checkCodecWidths(p *Pass) {
+	// All Marshal<X> functions and their [N]byte result sizes.
+	marshalSize := map[string]int{}
+	marshalSeen := map[string]bool{}
+	var codecs []*ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil {
+				if suffix, ok := strings.CutPrefix(fd.Name.Name, "Marshal"); ok && suffix != "" {
+					marshalSeen[suffix] = true
+					if size, ok := resultArraySize(p, fd); ok {
+						marshalSize[suffix] = size
+					}
+				}
+				continue
+			}
+			base := receiverBase(fd)
+			if _, isWidth := codecWidthMethods[fd.Name.Name]; isWidth && strings.HasSuffix(base, "Codec") && base != "Codec" {
+				codecs = append(codecs, fd)
+			}
+		}
+	}
+	for _, fd := range codecs {
+		width, ok := constReturn(p, fd)
+		if !ok {
+			continue // dynamic width (e.g. a configurable stride) is unverifiable here
+		}
+		base := strings.TrimSuffix(receiverBase(fd), "Codec")
+		suffix := exportName(base) + codecWidthMethods[fd.Name.Name]
+		if fd.Name.Name == "HopBytes" && width == 0 {
+			continue // fixed-width codec: no per-hop marshaller expected
+		}
+		size, sized := marshalSize[suffix]
+		switch {
+		case !marshalSeen[suffix]:
+			p.Reportf(fd.Name.Pos(), "%s.%s() declares %d wire bytes but the package has no Marshal%s realizing them",
+				receiverBase(fd), fd.Name.Name, width, suffix)
+		case !sized:
+			p.Reportf(fd.Name.Pos(), "%s.%s() declares %d wire bytes but Marshal%s does not return a fixed [N]byte form",
+				receiverBase(fd), fd.Name.Name, width, suffix)
+		case size != width:
+			p.Reportf(fd.Name.Pos(), "%s.%s() = %d but Marshal%s produces [%d]byte (declared width and wire form disagree)",
+				receiverBase(fd), fd.Name.Name, width, suffix, size)
+		}
+	}
+}
+
+// receiverBase returns the receiver's type name ("" for none), unwrapping
+// a pointer receiver.
+func receiverBase(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// constReturn extracts the method's constant return value when its body is
+// statically a single constant (directly or via a named constant).
+func constReturn(p *Pass, fd *ast.FuncDecl) (int, bool) {
+	var (
+		val   int
+		found bool
+		many  bool
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if found {
+			many = true
+			return false
+		}
+		tv, ok := p.Pkg.Info.Types[ret.Results[0]]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			val, found = int(v), true
+		}
+		return true
+	})
+	return val, found && !many
+}
+
+// exportName capitalizes the first rune: mars11 -> Mars11.
+func exportName(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
 }
 
 func checkWireFile(p *Pass, f *ast.File) {

@@ -54,6 +54,21 @@ type Config struct {
 	// BackoffJitter randomizes each backoff by ±Jitter/2 of its value so
 	// retries to many switches do not synchronize.
 	BackoffJitter float64
+
+	// Decoder is the controller-side half of the selected telemetry codec
+	// (internal/telemetry): it reconstructs collected Ring Table records
+	// and prices them on the collection wire. nil means the paper's exact
+	// encoding — identity reconstruction, 28-byte records.
+	Decoder RecordDecoder
+}
+
+// RecordDecoder reconstructs a collected telemetry snapshot. The second
+// return of DecodeRecords is the per-record reconstruction confidence in
+// [0,1], aligned with the returned records; RCA folds its mean into
+// culprit confidence. Every internal/telemetry Codec satisfies this.
+type RecordDecoder interface {
+	DecodeRecords(recs []dataplane.RTRecord) ([]dataplane.RTRecord, []float64)
+	RecordBytes() int
 }
 
 // DefaultConfig matches the data plane's 100 ms epochs: thresholds refresh
@@ -90,6 +105,24 @@ type Diagnosis struct {
 	// MissingSinks lists the edge switches that never responded within
 	// the retry budget; empty for a complete collection.
 	MissingSinks []topology.NodeID
+	// RecordConfidence, when non-nil, is the codec decoder's per-record
+	// reconstruction confidence aligned with Records. nil means the exact
+	// default encoding (confidence 1 everywhere).
+	RecordConfidence []float64
+}
+
+// ReconstructionConfidence is the mean per-record reconstruction
+// confidence, 1 for exact encodings (nil RecordConfidence) and for empty
+// collections.
+func (d Diagnosis) ReconstructionConfidence() float64 {
+	if len(d.RecordConfidence) == 0 {
+		return 1
+	}
+	var s float64
+	for _, c := range d.RecordConfidence {
+		s += c
+	}
+	return s / float64(len(d.RecordConfidence))
 }
 
 // Coverage returns the fraction of contacted sinks that answered (1 for a
@@ -345,10 +378,11 @@ func (c *Controller) deliverToSwitch(m ctrlchan.Message) {
 	switch m.Kind {
 	case ctrlchan.KindCollectRequest:
 		recs := c.Prog.RTSnapshot(m.Switch)
-		c.Bytes.CollectionBytes += int64(len(recs)) * dataplane.RTRecordBytes
+		wire := int64(len(recs)) * c.recordBytes()
+		c.Bytes.CollectionBytes += wire
 		c.ch.Send(ctrlchan.ToController, ctrlchan.Message{
 			Kind: ctrlchan.KindCollectResponse, Seq: m.Seq, Switch: m.Switch,
-			Records: recs, Wire: int64(len(recs)) * dataplane.RTRecordBytes,
+			Records: recs, Wire: wire,
 		}, c.deliverToController)
 
 	case ctrlchan.KindRefreshRequest:
@@ -711,7 +745,17 @@ func (c *Controller) onCollectResponse(m ctrlchan.Message) {
 	}
 }
 
-// finalizeCollection hands the (possibly partial) diagnosis to RCA.
+// recordBytes is the collection wire size of one Ring Table record under
+// the active codec.
+func (c *Controller) recordBytes() int64 {
+	if c.Cfg.Decoder != nil {
+		return int64(c.Cfg.Decoder.RecordBytes())
+	}
+	return dataplane.RTRecordBytes
+}
+
+// finalizeCollection runs the codec decoder over the collected snapshot
+// and hands the (possibly partial) diagnosis to RCA.
 func (c *Controller) finalizeCollection(col *collection) {
 	col.finished = true
 	c.Bytes.Diagnoses++
@@ -719,12 +763,18 @@ func (c *Controller) finalizeCollection(col *collection) {
 		c.Bytes.PartialDiagnoses++
 	}
 	if c.OnDiagnosis != nil {
+		records := col.records
+		var conf []float64
+		if c.Cfg.Decoder != nil {
+			records, conf = c.Cfg.Decoder.DecodeRecords(records)
+		}
 		c.OnDiagnosis(Diagnosis{
-			Trigger:      col.trigger,
-			Records:      col.records,
-			Time:         c.sim.Now(),
-			Requested:    col.requested,
-			MissingSinks: col.missing,
+			Trigger:          col.trigger,
+			Records:          records,
+			Time:             c.sim.Now(),
+			Requested:        col.requested,
+			MissingSinks:     col.missing,
+			RecordConfidence: conf,
 		})
 	}
 }

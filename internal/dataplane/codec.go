@@ -1,0 +1,66 @@
+package dataplane
+
+import (
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// Codec is the data-plane half of a telemetry encoding. The switch program
+// consults it at the three points where the paper's fixed 11-byte design
+// is actually a free design choice: whether a marked packet is promoted to
+// a telemetry packet (source), what the in-flight header accumulates and
+// how many wire bytes it grows (per hop), and what reaches the sink's Ring
+// Table record. Implementations live in internal/telemetry; a nil
+// Config.Codec selects the built-in behavior below, which is the paper's
+// encoding with byte-identical arithmetic.
+//
+// By convention, concrete implementations are named <name>Codec and pair
+// with Marshal<Name>/Unmarshal<Name> wire functions whose fixed array
+// length equals WireBytes() (and Marshal<Name>Hop for a non-zero
+// HopBytes()); the mars-lint wirewidth analyzer enforces the pairing.
+type Codec interface {
+	// Name is the registered codec name ("mars11", "perhop", ...).
+	Name() string
+	// WireBytes is the fixed header size added at the source switch.
+	WireBytes() int
+	// HopBytes is the per-hop wire growth (classic INT stacks); 0 for
+	// fixed-width encodings.
+	HopBytes() int
+	// EpochStride is the promotion period in epochs: 1 promotes one
+	// telemetry packet every epoch (the paper), N only every Nth epoch.
+	// The sink's epoch-gap drop detection scales by it.
+	EpochStride() uint32
+	// Promote decides whether the flow's marked packet for this epoch
+	// becomes a telemetry packet.
+	Promote(flow FlowID, epoch uint32) bool
+	// OnHop updates the in-flight header at one switch and returns the
+	// wire bytes the header grew by at this hop.
+	OnHop(h *INTHeader, pktID uint64, sw topology.NodeID, qlen int, now netsim.Time) int
+	// SinkRecord lets the codec move codec-private header state (h.Ext)
+	// into the Ring Table record before it is pushed.
+	SinkRecord(h *INTHeader, r *RTRecord)
+}
+
+// builtin is the paper's fixed 11-byte encoding as the program has always
+// executed it: every epoch mark is promoted, each hop folds its queue
+// depth into the accumulator, nothing grows, nothing is carried beyond the
+// base header. Keeping it inside the package (rather than importing
+// internal/telemetry's mars11) preserves the import direction
+// telemetry → dataplane.
+type builtin struct{}
+
+func (builtin) Name() string        { return "mars11" }
+func (builtin) WireBytes() int      { return TelemetryHeaderBytes }
+func (builtin) HopBytes() int       { return 0 }
+func (builtin) EpochStride() uint32 { return 1 }
+
+func (builtin) Promote(FlowID, uint32) bool { return true }
+
+func (builtin) OnHop(h *INTHeader, _ uint64, _ topology.NodeID, qlen int, _ netsim.Time) int {
+	h.TotalQueueDepth += uint32(qlen)
+	return 0
+}
+
+func (builtin) SinkRecord(*INTHeader, *RTRecord) {}
+
+var _ Codec = builtin{}

@@ -66,6 +66,10 @@ type INTHeader struct {
 	// Flagged suppresses anomaly detection at subsequent hops once one
 	// switch has notified the control plane (§4.2.2).
 	Flagged bool
+	// Ext is codec-private in-flight state (nil for the paper's fixed
+	// encoding): the perhop codec's hop stack, the pintlike codec's
+	// sampled hop slot. The active Codec owns its concrete type.
+	Ext any
 }
 
 // PacketMeta is MARS's per-packet state: the PathID field present on every

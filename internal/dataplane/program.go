@@ -25,6 +25,9 @@ type Config struct {
 	// NotifyWindow rate-limits notifications: at most one per switch per
 	// window (§4.2.2).
 	NotifyWindow netsim.Time
+	// Codec selects the telemetry encoding; nil is the paper's fixed
+	// 11-byte header (byte-identical to the historical pipeline).
+	Codec Codec
 }
 
 // DefaultProgramConfig returns the configuration used across the
@@ -87,12 +90,18 @@ type Program struct {
 	states []switchState
 	// sinkOf caches each host's edge switch.
 	sinkOf map[topology.NodeID]topology.NodeID
+	// cdc is the resolved telemetry codec (Cfg.Codec or the builtin).
+	cdc Codec
 }
 
 // New creates the program. paths is the control-plane PathID table (the
 // consensus hash chain + MAT entries).
 func New(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Notifier) *Program {
 	p := &Program{Cfg: cfg, Topo: topo, Paths: paths, Notifier: notifier}
+	p.cdc = cfg.Codec
+	if p.cdc == nil {
+		p.cdc = builtin{}
+	}
 	p.states = make([]switchState, len(topo.Nodes))
 	for i := range topo.Nodes {
 		if topo.Nodes[i].Kind != topology.KindSwitch {
@@ -190,13 +199,13 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 		sink := p.sinkOf[pkt.Dst]
 		st := &p.states[sw]
 		mark, lastCount := st.it.Record(sink, epoch, pkt.Size, now)
-		if mark {
+		if mark && p.cdc.Promote(FlowID{Src: sw, Sink: sink}, epoch) {
 			meta.INT = &INTHeader{
 				SourceTS:       now,
 				LastEpochCount: lastCount,
 				EpochID:        epoch,
 			}
-			pkt.ExtraBytes += TelemetryHeaderBytes
+			pkt.ExtraBytes += int32(p.cdc.WireBytes())
 			p.Stats.TelemetryPackets++
 		}
 	} else {
@@ -226,10 +235,14 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 
 	flow := FlowID{Src: meta.SourceSwitch, Sink: p.sinkOf[pkt.Dst]}
 
-	// Telemetry packet processing at every hop: accumulate queue depth and
-	// run the latency check against the dynamic threshold.
+	// Telemetry packet processing at every hop: let the codec fold in this
+	// hop's observation (the paper's encoding accumulates queue depth; the
+	// perhop codec also grows the packet), then run the latency check
+	// against the dynamic threshold.
 	if meta.INT != nil {
-		meta.INT.TotalQueueDepth += uint32(qlen)
+		if grow := p.cdc.OnHop(meta.INT, pkt.ID, sw, qlen, now); grow != 0 {
+			pkt.ExtraBytes += int32(grow)
+		}
 		latency := now - meta.INT.SourceTS
 		if !meta.INT.Flagged && latency > p.threshold(sw, flow) {
 			meta.INT.Flagged = true // suppress downstream re-detection
@@ -259,17 +272,22 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 				TotalQueueDepth: meta.INT.TotalQueueDepth,
 				Arrival:         now,
 			}
+			p.cdc.SinkRecord(meta.INT, &rec)
 			// Epoch-gap drop detection (§4.3.2): missing telemetry epochs
-			// mean the sampled packets themselves were lost.
+			// mean the sampled packets themselves were lost. The expected
+			// spacing is the codec's promotion stride (1 for the paper's
+			// every-epoch encoding), so only whole missing promotions count.
 			had := st.haveTelemEpoch[flow]
 			if had {
 				last := st.lastTelemEpoch[flow]
-				if e > last+1 {
-					rec.EpochGap = e - last - 1
-					p.notify(s, sw, Notification{
-						Kind: NotifyDrop, Switch: sw, Flow: flow,
-						Time: now, EpochGap: rec.EpochGap,
-					})
+				if e > last {
+					if missed := (e - last - 1) / p.cdc.EpochStride(); missed > 0 {
+						rec.EpochGap = missed
+						p.notify(s, sw, Notification{
+							Kind: NotifyDrop, Switch: sw, Flow: flow,
+							Time: now, EpochGap: rec.EpochGap,
+						})
+					}
 				}
 			}
 			if !had || e > st.lastTelemEpoch[flow] {

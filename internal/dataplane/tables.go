@@ -190,6 +190,10 @@ type RTRecord struct {
 	EpochGap uint32
 	// Arrival is the sink arrival time.
 	Arrival netsim.Time
+	// Ext is codec-private record state copied from the INT header at the
+	// sink (nil for the paper's fixed encoding); the controller-side
+	// decoder of the same codec consumes it during reconstruction.
+	Ext any
 }
 
 // RingTable keeps the most recent Size telemetry records, overwriting the

@@ -82,6 +82,12 @@ type TrialConfig struct {
 	// CtrlNoRetry zeroes the controller's retry budget (the ablation the
 	// ctrlchan experiment compares against).
 	CtrlNoRetry bool
+
+	// Codec names the telemetry encoding for MARS trials (internal/
+	// telemetry); "" keeps the historical built-in mars11 path, leaving
+	// every pre-existing sweep byte-identical. Only the overhead
+	// experiment sets it.
+	Codec string
 }
 
 // DefaultTrialConfig sizes a trial so the five fault signatures are
@@ -134,6 +140,14 @@ type TrialResult struct {
 	// fault started and how many finished with missing sinks.
 	Diagnoses        int64
 	PartialDiagnoses int64
+	// Packets is the end-to-end packet count (for bytes/packet overhead
+	// normalization); TelemetryPackets counts packets promoted to carry
+	// telemetry.
+	Packets          int64
+	TelemetryPackets int64
+	// FalseAlarms counts completed diagnoses before the fault started
+	// (detection false positives; MARS trials only).
+	FalseAlarms int64
 }
 
 // installWorkload starts the background mesh and returns the flows.

@@ -12,6 +12,7 @@ import (
 	"mars/internal/netsim"
 	"mars/internal/pathid"
 	"mars/internal/rca"
+	"mars/internal/telemetry"
 	"mars/internal/topology"
 )
 
@@ -109,21 +110,31 @@ type marsSystem struct {
 	strictCause bool
 
 	// Per-trial state, populated by Build/Start and consumed by Localize.
-	table     *pathid.Table
-	prog      *dataplane.Program
-	ch        *ctrlchan.Channel
-	ctrl      *controlplane.Controller
-	lists     [][]rca.Culprit
-	detected  bool
-	firstDiag netsim.Time
-	diagnoses int64
-	partial   int64
+	table       *pathid.Table
+	prog        *dataplane.Program
+	codec       telemetry.Codec
+	ch          *ctrlchan.Channel
+	ctrl        *controlplane.Controller
+	lists       [][]rca.Culprit
+	detected    bool
+	firstDiag   netsim.Time
+	diagnoses   int64
+	partial     int64
+	falseAlarms int64
 }
 
 func (m *marsSystem) Kind() SystemKind { return SysMARS }
 
 func (m *marsSystem) Build(tc TrialConfig, ft *topology.FatTree) netsim.Hooks {
 	dcfg := dataplane.DefaultProgramConfig()
+	if tc.Codec != "" {
+		cdc, err := telemetry.New(tc.Codec, tc.Seed)
+		if err != nil {
+			panic(err)
+		}
+		m.codec = cdc
+		dcfg.Codec = cdc
+	}
 	table, err := pathid.BuildTable(dcfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
 	if err != nil {
 		panic(err)
@@ -141,6 +152,9 @@ func (m *marsSystem) Start(tc TrialConfig, sub *Substrate, inj *faults.Injector)
 	m.ch = ctrlchan.New(sub.Sim, chcfg)
 	ccfg := controlplane.DefaultConfig()
 	ccfg.Seed = tc.Seed
+	if m.codec != nil {
+		ccfg.Decoder = m.codec
+	}
 	if tc.CtrlNoRetry {
 		ccfg.MaxRetries = 0
 	}
@@ -164,6 +178,8 @@ func (m *marsSystem) Start(tc TrialConfig, sub *Substrate, inj *faults.Injector)
 				m.partial++
 			}
 			m.lists = append(m.lists, analyzer.Analyze(d))
+		} else {
+			m.falseAlarms++
 		}
 	}
 	inj.Chan = m.ch
@@ -188,6 +204,9 @@ func (m *marsSystem) Localize(tc TrialConfig, sub *Substrate, gt faults.GroundTr
 		TotalLinkBytes: totalLinkBytes(sub.Sim),
 		DiagLatency:    m.firstDiag, DiagDetected: m.detected,
 		Diagnoses: m.diagnoses, PartialDiagnoses: m.partial,
+		Packets:          sub.Sim.Stats.Sent,
+		TelemetryPackets: m.prog.Stats.TelemetryPackets,
+		FalseAlarms:      m.falseAlarms,
 	}
 }
 

@@ -20,6 +20,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"mars/internal/ctrlchan"
 	"mars/internal/netsim"
@@ -74,6 +75,24 @@ func (k Kind) String() string {
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
+}
+
+// Parse maps a scenario name (as printed by Kind.String, matched
+// case-insensitively) to its Kind. All six scenarios parse, including
+// ctrl-chan. The error for an unknown name lists the valid set, so CLI
+// surfaces can echo it directly.
+func Parse(name string) (Kind, error) {
+	all := append(Kinds(), CtrlChanDegrade)
+	for _, k := range all {
+		if strings.EqualFold(name, k.String()) {
+			return k, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, k := range all {
+		names[i] = k.String()
+	}
+	return 0, fmt.Errorf("faults: unknown fault %q (valid: %s)", name, strings.Join(names, ", "))
 }
 
 // GroundTruth describes the injected fault for scoring.

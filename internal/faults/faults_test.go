@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 
 	"mars/internal/ctrlchan"
@@ -231,4 +232,48 @@ func TestCtrlChanDegradeRequiresChannel(t *testing.T) {
 		}
 	}()
 	inj.Inject(CtrlChanDegrade, 0, netsim.Second)
+}
+
+func TestParseValidNames(t *testing.T) {
+	for _, k := range append(Kinds(), CtrlChanDegrade) {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("Parse(%q) = %v, want %v", k, got, k)
+		}
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"MICRO-BURST": MicroBurst,
+		"Delay":       Delay,
+		"eCmP-ImBaLaNcE": ECMPImbalance,
+	} {
+		got, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseUnknownListsValid(t *testing.T) {
+	_, err := Parse("blackhole")
+	if err == nil {
+		t.Fatal("Parse of an unknown fault must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"blackhole"`) {
+		t.Errorf("error %q does not echo the bad name", msg)
+	}
+	for _, k := range append(Kinds(), CtrlChanDegrade) {
+		if !strings.Contains(msg, k.String()) {
+			t.Errorf("error %q does not list valid name %q", msg, k)
+		}
+	}
 }

@@ -262,8 +262,11 @@ func (a *Analyzer) Analyze(d controlplane.Diagnosis) []Culprit {
 	}
 	// Degraded mode: a partial collection (missing sinks) still yields a
 	// ranking, but every culprit carries the data coverage behind it so
-	// the operator — and the merge across diagnoses — can weigh it.
-	conf := d.Coverage()
+	// the operator — and the merge across diagnoses — can weigh it. The
+	// codec decoder's reconstruction confidence folds in the same way: a
+	// probabilistic or subsampled encoding weakens confidence without
+	// changing the ranking.
+	conf := d.Coverage() * d.ReconstructionConfidence()
 	for i := range out {
 		out[i].Confidence = conf
 	}

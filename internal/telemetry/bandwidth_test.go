@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"testing"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/topology"
+	"mars/internal/workload"
+)
+
+// TestCodecLinkUtilization pins every registered codec's in-band cost to
+// a closed form derived from its declared widths: over a 5-switch
+// cross-pod path each packet pays the PathID field on the 4 inter-switch
+// links, and each promoted packet additionally pays
+//
+//	links·WireBytes + HopBytes·links·(links+1)/2
+//
+// (the triangular term is perhop's stack growing one entry per hop; it
+// vanishes for fixed-width codecs). Total simulated link bytes must equal
+// the payload base plus exactly the program's telemetry accounting, so a
+// codec can't leak bytes the WireSize() bookkeeping doesn't see.
+func TestCodecLinkUtilization(t *testing.T) {
+	const (
+		size       = 500
+		interLinks = 4 // edge->agg->core->agg->edge
+		totalLinks = 6 // + the two host links
+	)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			cdc, err := New(name, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := dataplane.DefaultProgramConfig()
+			cfg.Codec = cdc
+			ft, err := topology.NewFatTree(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			table, err := pathid.BuildTable(cfg.PathCfg, ft.Topology, ft.AllEdgePairPaths())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := dataplane.New(cfg, ft.Topology, table, nil)
+			router := netsim.NewECMPRouter(ft.Topology, 3)
+			sim := netsim.New(ft.Topology, router, prog, netsim.DefaultConfig(), 3)
+
+			// One cross-pod CBR flow, far below line rate: every packet is
+			// delivered over the same-length path, so byte totals are exact.
+			f := &workload.Flow{Src: ft.HostIDs[0], Dst: ft.HostIDs[8], Key: 1,
+				RatePPS: 100, Gaps: workload.GapConstant,
+				Sizes: workload.FixedSize(size), Start: 0, Stop: netsim.Second}
+			f.Install(sim)
+			sim.Run(2 * netsim.Second)
+
+			if sim.Stats.Dropped != 0 || sim.Stats.Delivered != sim.Stats.Sent {
+				t.Fatalf("lossless run expected: sent=%d delivered=%d dropped=%d",
+					sim.Stats.Sent, sim.Stats.Delivered, sim.Stats.Dropped)
+			}
+			n := sim.Stats.Sent
+			tp := prog.Stats.TelemetryPackets
+			if tp == 0 {
+				t.Fatal("no packets were promoted to telemetry")
+			}
+			if stride := int64(cdc.EpochStride()); tp > n/stride {
+				t.Errorf("telemetry packets = %d over %d epochs, want at most one per %d epochs",
+					tp, n, stride)
+			}
+
+			pathHdr := int64(cfg.PathCfg.HeaderBytes())
+			codecTerm := int64(interLinks*cdc.WireBytes()) +
+				int64(cdc.HopBytes())*interLinks*(interLinks+1)/2
+			want := n*interLinks*pathHdr + tp*codecTerm
+			if got := prog.Stats.TelemetryLinkBytes; got != want {
+				t.Errorf("telemetry link bytes = %d, want %d (= %d pkts x %d links x %d B PathID + %d telem x %d B)",
+					got, want, n, interLinks, pathHdr, tp, codecTerm)
+			}
+
+			var total int64
+			for _, b := range sim.Stats.LinkBytes {
+				total += b
+			}
+			if wantTotal := n*totalLinks*size + want; total != wantTotal {
+				t.Errorf("total link bytes = %d, want %d (payload %d + telemetry %d)",
+					total, wantTotal, n*totalLinks*size, want)
+			}
+		})
+	}
+}

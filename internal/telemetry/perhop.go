@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+func init() {
+	Register("perhop", func(int64) Codec { return perhopCodec{} })
+}
+
+// Hop is one classic-INT stack entry recorded by the perhop codec.
+type Hop struct {
+	Switch topology.NodeID
+	// Queue is the egress queue depth observed at the hop.
+	Queue uint32
+	// SinceSourceUS is the time since the packet entered the source
+	// switch, in microseconds.
+	SinceSourceUS uint32
+}
+
+// HopStack is the perhop codec's Ext payload: the full per-hop trace.
+type HopStack struct {
+	Hops []Hop
+}
+
+// perhopCodec is classic INT, the paper's expensive upper baseline: the
+// mars11 base header plus one 8-byte record appended at every traversed
+// switch, so wire cost grows linearly with path length (Fig. 2's
+// motivating comparison). Detection signals are a superset of mars11's —
+// the base accumulator is still maintained — so localization accuracy
+// matches mars11 while bytes/packet strictly dominate it.
+type perhopCodec struct{}
+
+func (perhopCodec) Name() string        { return "perhop" }
+func (perhopCodec) WireBytes() int      { return PerhopWireBytes }
+func (perhopCodec) HopBytes() int       { return PerhopHopBytes }
+func (perhopCodec) EpochStride() uint32 { return 1 }
+
+func (perhopCodec) Promote(dataplane.FlowID, uint32) bool { return true }
+
+func (perhopCodec) OnHop(h *dataplane.INTHeader, _ uint64, sw topology.NodeID, qlen int, now netsim.Time) int {
+	h.TotalQueueDepth += uint32(qlen)
+	st, _ := h.Ext.(*HopStack)
+	if st == nil {
+		st = &HopStack{}
+		h.Ext = st
+	}
+	st.Hops = append(st.Hops, Hop{
+		Switch:        sw,
+		Queue:         uint32(qlen),
+		SinceSourceUS: uint32((now - h.SourceTS) / netsim.Microsecond),
+	})
+	return PerhopHopBytes
+}
+
+func (perhopCodec) SinkRecord(h *dataplane.INTHeader, r *dataplane.RTRecord) {
+	if st, ok := h.Ext.(*HopStack); ok {
+		r.Ext = st
+	}
+}
+
+func (perhopCodec) Marshal(h *dataplane.INTHeader) []byte {
+	base := MarshalPerhop(h)
+	out := base[:]
+	if st, ok := h.Ext.(*HopStack); ok {
+		for i := range st.Hops {
+			hb := MarshalPerhopHop(&st.Hops[i])
+			out = append(out, hb[:]...)
+		}
+	}
+	return out
+}
+
+func (perhopCodec) Unmarshal(b []byte, now netsim.Time, epochHint uint32) (*dataplane.INTHeader, error) {
+	if len(b) < PerhopWireBytes || (len(b)-PerhopWireBytes)%PerhopHopBytes != 0 {
+		return nil, wireLen("perhop", b, PerhopWireBytes+(max(len(b)-PerhopWireBytes, 0)/PerhopHopBytes)*PerhopHopBytes)
+	}
+	var a [PerhopWireBytes]byte
+	copy(a[:], b[:PerhopWireBytes])
+	h := UnmarshalPerhop(a, now, epochHint)
+	rest := b[PerhopWireBytes:]
+	if len(rest) > 0 {
+		st := &HopStack{Hops: make([]Hop, 0, len(rest)/PerhopHopBytes)}
+		for off := 0; off < len(rest); off += PerhopHopBytes {
+			var hb [PerhopHopBytes]byte
+			copy(hb[:], rest[off:off+PerhopHopBytes])
+			st.Hops = append(st.Hops, UnmarshalPerhopHop(hb))
+		}
+		h.Ext = st
+	}
+	return h, nil
+}
+
+// DecodeRecords is the identity with full confidence: the per-hop trace
+// is exact.
+func (perhopCodec) DecodeRecords(recs []dataplane.RTRecord) ([]dataplane.RTRecord, []float64) {
+	return recs, onesFor(recs)
+}
+
+// RecordBytes is the base 28-byte collection record: the sink stores the
+// aggregate fields, not the raw stack, so collection cost matches mars11
+// — perhop pays its premium in-band, on every telemetry packet.
+func (perhopCodec) RecordBytes() int { return dataplane.RTRecordBytes }

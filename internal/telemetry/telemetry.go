@@ -1,0 +1,103 @@
+// Package telemetry makes the MARS telemetry encoding a pluggable design
+// point. The paper argues for a fixed 11-byte header against per-hop
+// growing INT stacks (§4.2, Fig. 2); PINT (Ben Basat et al., SIGCOMM
+// 2020) shows the space between those extremes — probabilistic per-hop
+// sampling into a fixed-width slot, reconstructed from many packets at
+// the sink. This package defines the Codec seam and registers four
+// encodings spanning that frontier:
+//
+//   - mars11: the paper's 11-byte header, byte-identical to the
+//     historical pipeline (the default).
+//   - perhop: classic INT — one 8-byte record appended per hop, the
+//     expensive exact upper baseline whose cost grows with path length.
+//   - pintlike: the 11-byte base plus a 5-byte probabilistic hop slot;
+//     each hop reservoir-samples itself into the slot with seeded
+//     hashing, and the controller reconstructs per-hop queue profiles
+//     across packets with a coverage confidence.
+//   - sampled: the 11-byte header promoted only every Nth epoch,
+//     trading temporal coverage for bytes.
+//
+// A Codec is both the data-plane program hooks (dataplane.Codec) and the
+// controller-side wire marshal/unmarshal + record decoder, so one value
+// threads through mars.Config into both halves of the system. The
+// `mars-bench -exp overhead` sweep measures the resulting cost–accuracy
+// frontier over the Table 1 fault suite.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+)
+
+// Codec is a full telemetry encoding: the data-plane hooks plus the wire
+// format and the controller-side decoder.
+type Codec interface {
+	dataplane.Codec
+
+	// Marshal encodes the in-flight header into its wire bytes. The
+	// length is WireBytes() plus HopBytes() per recorded hop.
+	Marshal(h *dataplane.INTHeader) []byte
+	// Unmarshal decodes wire bytes; now anchors timestamp recovery and
+	// epochHint anchors 16-bit epoch expansion, as in dataplane.UnmarshalINT.
+	Unmarshal(b []byte, now netsim.Time, epochHint uint32) (*dataplane.INTHeader, error)
+
+	// DecodeRecords reconstructs a collected Ring Table snapshot on the
+	// controller. It returns the (possibly rewritten) records and a
+	// per-record reconstruction confidence in [0,1]: 1 for exact
+	// encodings, the observed-hop coverage for pintlike, the epoch
+	// coverage for sampled.
+	DecodeRecords(recs []dataplane.RTRecord) ([]dataplane.RTRecord, []float64)
+	// RecordBytes is the wire size of one record during on-demand
+	// collection (28 for the paper's encoding).
+	RecordBytes() int
+}
+
+// factories maps registered codec names to constructors. seed feeds any
+// codec-internal hashing (only pintlike uses it); codecs must be
+// deterministic functions of (seed, packet contents).
+var factories = map[string]func(seed int64) Codec{}
+
+// Register installs a codec constructor under name. It panics on
+// duplicates: registration happens from init functions, so a collision is
+// a programming error.
+func Register(name string, f func(seed int64) Codec) {
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate codec %q", name))
+	}
+	factories[name] = f
+}
+
+// New builds the named codec. The error lists the registered names so CLI
+// surfaces can echo it directly.
+func New(name string, seed int64) (Codec, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unknown codec %q (valid: %s)", name, nameList())
+	}
+	return f(seed), nil
+}
+
+// Names returns the registered codec names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		//mars:mapiter-ok keys are sorted before use
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nameList() string {
+	var s string
+	for i, name := range Names() {
+		if i > 0 {
+			s += ", "
+		}
+		s += name
+	}
+	return s
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// Wire forms for the registered codecs. Like dataplane/wire.go, every
+// fixed-width layout here is a Marshal<X>/Unmarshal<X> pair over an
+// [N]byte array so the mars-lint wirewidth analyzer can verify field
+// symmetry, and N is the codec's declared WireBytes() (or HopBytes() for
+// the per-hop entry), which the analyzer's codec check pins.
+
+// Declared wire sizes. Mars11WireBytes mirrors the paper's constant; the
+// equality is asserted by TestMars11MatchesDataplane.
+const (
+	// Mars11WireBytes is the paper's fixed telemetry header.
+	Mars11WireBytes = 11
+	// SampledWireBytes reuses the mars11 layout; the promotion stride
+	// rides in the spare bits of the flags byte.
+	SampledWireBytes = 11
+	// PintlikeWireBytes is the mars11 base plus the 5-byte sampled hop
+	// slot (switch 2, quantized depth 1, hop index 1, hop count 1).
+	PintlikeWireBytes = 16
+	// PerhopWireBytes is the perhop base header (mars11 layout); each
+	// traversed hop appends PerhopHopBytes more.
+	PerhopWireBytes = 11
+	// PerhopHopBytes is one per-hop INT stack entry (switch 2, queue 2,
+	// time since source 4).
+	PerhopHopBytes = 8
+)
+
+// MarshalMars11 encodes the base telemetry header into the paper's
+// 11-byte wire form, bit-for-bit the layout of dataplane.MarshalINT:
+//
+//	0:4  compressed source timestamp (µs, low 32 bits)
+//	4:6  last-epoch packet count (saturating uint16)
+//	6:8  total queue depth (saturating uint16)
+//	8:10 epoch ID (low 16 bits)
+//	10   flags (bit 0: anomaly-flagged)
+func MarshalMars11(h *dataplane.INTHeader) [Mars11WireBytes]byte {
+	var b [Mars11WireBytes]byte
+	binary.BigEndian.PutUint32(b[0:4], dataplane.CompressTimestamp(h.SourceTS))
+	binary.BigEndian.PutUint16(b[4:6], sat16(h.LastEpochCount))
+	binary.BigEndian.PutUint16(b[6:8], sat16(h.TotalQueueDepth))
+	binary.BigEndian.PutUint16(b[8:10], uint16(h.EpochID))
+	if h.Flagged {
+		b[10] = 1
+	}
+	return b
+}
+
+// UnmarshalMars11 decodes the 11-byte base header; now anchors timestamp
+// recovery and epochHint anchors epoch expansion.
+func UnmarshalMars11(b [Mars11WireBytes]byte, now netsim.Time, epochHint uint32) *dataplane.INTHeader {
+	return &dataplane.INTHeader{
+		SourceTS:        dataplane.DecompressTimestamp(binary.BigEndian.Uint32(b[0:4]), now),
+		LastEpochCount:  uint32(binary.BigEndian.Uint16(b[4:6])),
+		TotalQueueDepth: uint32(binary.BigEndian.Uint16(b[6:8])),
+		EpochID:         expandEpoch(binary.BigEndian.Uint16(b[8:10]), epochHint),
+		Flagged:         b[10]&1 != 0,
+	}
+}
+
+// MarshalSampled encodes the mars11 layout with the promotion stride in
+// the spare flag bits:
+//
+//	0:4  compressed source timestamp
+//	4:6  last-epoch packet count (sat)
+//	6:8  total queue depth (sat)
+//	8:10 epoch ID (low 16 bits)
+//	10   bit 0: anomaly-flagged; bits 1..7: epoch stride
+func MarshalSampled(h *dataplane.INTHeader, stride uint32) [SampledWireBytes]byte {
+	var b [SampledWireBytes]byte
+	binary.BigEndian.PutUint32(b[0:4], dataplane.CompressTimestamp(h.SourceTS))
+	binary.BigEndian.PutUint16(b[4:6], sat16(h.LastEpochCount))
+	binary.BigEndian.PutUint16(b[6:8], sat16(h.TotalQueueDepth))
+	binary.BigEndian.PutUint16(b[8:10], uint16(h.EpochID))
+	flags := sat7(stride) << 1
+	if h.Flagged {
+		flags |= 1
+	}
+	b[10] = flags
+	return b
+}
+
+// UnmarshalSampled decodes the sampled layout, returning the header and
+// the carried stride.
+func UnmarshalSampled(b [SampledWireBytes]byte, now netsim.Time, epochHint uint32) (*dataplane.INTHeader, uint32) {
+	h := &dataplane.INTHeader{
+		SourceTS:        dataplane.DecompressTimestamp(binary.BigEndian.Uint32(b[0:4]), now),
+		LastEpochCount:  uint32(binary.BigEndian.Uint16(b[4:6])),
+		TotalQueueDepth: uint32(binary.BigEndian.Uint16(b[6:8])),
+		EpochID:         expandEpoch(binary.BigEndian.Uint16(b[8:10]), epochHint),
+		Flagged:         b[10]&1 != 0,
+	}
+	return h, uint32(b[10] >> 1)
+}
+
+// MarshalPintlike encodes the mars11 base plus the probabilistic hop
+// slot:
+//
+//	0:10  mars11 base fields (see MarshalMars11)
+//	10    flags (bit 0: anomaly-flagged)
+//	11:13 slot switch ID (saturating uint16)
+//	13    slot queue depth, quantized (saturating uint8)
+//	14    slot hop index (1-based; 0 = empty slot)
+//	15    hops traversed so far
+func MarshalPintlike(h *dataplane.INTHeader) [PintlikeWireBytes]byte {
+	var b [PintlikeWireBytes]byte
+	binary.BigEndian.PutUint32(b[0:4], dataplane.CompressTimestamp(h.SourceTS))
+	binary.BigEndian.PutUint16(b[4:6], sat16(h.LastEpochCount))
+	binary.BigEndian.PutUint16(b[6:8], sat16(h.TotalQueueDepth))
+	binary.BigEndian.PutUint16(b[8:10], uint16(h.EpochID))
+	if h.Flagged {
+		b[10] = 1
+	}
+	var hs HopSample
+	if s, ok := h.Ext.(*HopSample); ok && s != nil {
+		hs = *s
+	}
+	binary.BigEndian.PutUint16(b[11:13], sat16(uint32(hs.Switch)))
+	b[13] = sat8(hs.Depth)
+	b[14] = hs.Index
+	b[15] = hs.Count
+	return b
+}
+
+// UnmarshalPintlike decodes the 16-byte pintlike form. An empty slot
+// (index 0) yields a nil Ext.
+func UnmarshalPintlike(b [PintlikeWireBytes]byte, now netsim.Time, epochHint uint32) *dataplane.INTHeader {
+	h := &dataplane.INTHeader{
+		SourceTS:        dataplane.DecompressTimestamp(binary.BigEndian.Uint32(b[0:4]), now),
+		LastEpochCount:  uint32(binary.BigEndian.Uint16(b[4:6])),
+		TotalQueueDepth: uint32(binary.BigEndian.Uint16(b[6:8])),
+		EpochID:         expandEpoch(binary.BigEndian.Uint16(b[8:10]), epochHint),
+		Flagged:         b[10]&1 != 0,
+	}
+	if b[14] != 0 {
+		h.Ext = &HopSample{
+			Switch: topology.NodeID(binary.BigEndian.Uint16(b[11:13])),
+			Depth:  uint32(b[13]),
+			Index:  b[14],
+			Count:  b[15],
+		}
+	}
+	return h
+}
+
+// MarshalPerhop encodes the perhop codec's base header (the mars11
+// layout; the hop stack follows as PerhopHopBytes entries appended by
+// perhopCodec.Marshal).
+func MarshalPerhop(h *dataplane.INTHeader) [PerhopWireBytes]byte {
+	var b [PerhopWireBytes]byte
+	binary.BigEndian.PutUint32(b[0:4], dataplane.CompressTimestamp(h.SourceTS))
+	binary.BigEndian.PutUint16(b[4:6], sat16(h.LastEpochCount))
+	binary.BigEndian.PutUint16(b[6:8], sat16(h.TotalQueueDepth))
+	binary.BigEndian.PutUint16(b[8:10], uint16(h.EpochID))
+	if h.Flagged {
+		b[10] = 1
+	}
+	return b
+}
+
+// UnmarshalPerhop decodes the perhop base header (hop entries are decoded
+// separately by UnmarshalPerhopHop).
+func UnmarshalPerhop(b [PerhopWireBytes]byte, now netsim.Time, epochHint uint32) *dataplane.INTHeader {
+	return &dataplane.INTHeader{
+		SourceTS:        dataplane.DecompressTimestamp(binary.BigEndian.Uint32(b[0:4]), now),
+		LastEpochCount:  uint32(binary.BigEndian.Uint16(b[4:6])),
+		TotalQueueDepth: uint32(binary.BigEndian.Uint16(b[6:8])),
+		EpochID:         expandEpoch(binary.BigEndian.Uint16(b[8:10]), epochHint),
+		Flagged:         b[10]&1 != 0,
+	}
+}
+
+// MarshalPerhopHop encodes one INT stack entry:
+//
+//	0:2 switch ID (saturating uint16)
+//	2:4 egress queue depth (saturating uint16)
+//	4:8 time since source entry (µs)
+func MarshalPerhopHop(hp *Hop) [PerhopHopBytes]byte {
+	var b [PerhopHopBytes]byte
+	binary.BigEndian.PutUint16(b[0:2], sat16(uint32(hp.Switch)))
+	binary.BigEndian.PutUint16(b[2:4], sat16(hp.Queue))
+	binary.BigEndian.PutUint32(b[4:8], hp.SinceSourceUS)
+	return b
+}
+
+// UnmarshalPerhopHop decodes one INT stack entry.
+func UnmarshalPerhopHop(b [PerhopHopBytes]byte) Hop {
+	return Hop{
+		Switch:        topology.NodeID(binary.BigEndian.Uint16(b[0:2])),
+		Queue:         uint32(binary.BigEndian.Uint16(b[2:4])),
+		SinceSourceUS: binary.BigEndian.Uint32(b[4:8]),
+	}
+}
+
+// wireLen validates an exact expected length.
+func wireLen(name string, b []byte, want int) error {
+	if len(b) != want {
+		return fmt.Errorf("telemetry: %s wire form is %d bytes, want %d", name, len(b), want)
+	}
+	return nil
+}
+
+// expandEpoch recovers a full 32-bit epoch from its low 16 bits relative
+// to the receiver's current epoch (same recovery as dataplane's decoder).
+func expandEpoch(low uint16, hint uint32) uint32 {
+	base := hint &^ 0xFFFF
+	cand := base | uint32(low)
+	if cand > hint {
+		if base == 0 {
+			return cand
+		}
+		cand -= 1 << 16
+	}
+	return cand
+}
+
+func sat16(v uint32) uint16 {
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}
+
+func sat8(v uint32) uint8 {
+	if v > 0xFF {
+		return 0xFF
+	}
+	return uint8(v)
+}
+
+func sat7(v uint32) uint8 {
+	if v > 0x7F {
+		return 0x7F
+	}
+	return uint8(v)
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+)
+
+// The per-codec fuzz targets mirror dataplane's FuzzWireRoundTrip: each
+// codec's decoder must never panic on arbitrary wire bytes, and must be
+// idempotent — decode(encode(decode(b))) == decode(b) under the same
+// anchors. Raw bytes are only compared where the layout defines every bit
+// (reserved bits are legitimately dropped on re-encode).
+
+// FuzzMars11RoundTrip anchors the paper's 11-byte layout.
+func FuzzMars11RoundTrip(f *testing.F) {
+	f.Add(make([]byte, Mars11WireBytes), int64(0), uint32(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0x81}, int64(3*netsim.Second), uint32(70000))
+	f.Fuzz(func(t *testing.T, raw []byte, nowRaw int64, epochHint uint32) {
+		var b [Mars11WireBytes]byte
+		copy(b[:], raw)
+		if nowRaw < 0 {
+			nowRaw = 0 // the codecs' contract is a non-negative clock
+		}
+		now := netsim.Time(nowRaw)
+
+		h := UnmarshalMars11(b, now, epochHint)
+		b2 := MarshalMars11(h)
+		if !reflect.DeepEqual(h, UnmarshalMars11(b2, now, epochHint)) {
+			t.Fatalf("mars11 codec not idempotent: b=%v h=%+v b2=%v", b, h, b2)
+		}
+		// The layout is bit-identical to dataplane.MarshalINT, so both
+		// encoders must agree on every header.
+		if db := dataplane.MarshalINT(h); b2 != db {
+			t.Fatalf("mars11 diverged from dataplane layout: %v vs %v", b2, db)
+		}
+		for i := 0; i < Mars11WireBytes-1; i++ {
+			if b2[i] != b[i] {
+				t.Fatalf("byte %d changed across re-encode: %#x -> %#x", i, b[i], b2[i])
+			}
+		}
+		if b2[10] != b[10]&1 {
+			t.Fatalf("flags byte %#x re-encoded as %#x, want %#x", b[10], b2[10], b[10]&1)
+		}
+	})
+}
+
+// FuzzSampledRoundTrip additionally carries the stride in the spare flag
+// bits, so the whole flags byte must survive re-encoding.
+func FuzzSampledRoundTrip(f *testing.F) {
+	f.Add(make([]byte, SampledWireBytes), int64(0), uint32(0))
+	f.Add([]byte{0, 0, 1, 0, 0, 9, 0, 4, 0, 2, 0x05}, int64(netsim.Second), uint32(300))
+	f.Fuzz(func(t *testing.T, raw []byte, nowRaw int64, epochHint uint32) {
+		var b [SampledWireBytes]byte
+		copy(b[:], raw)
+		if nowRaw < 0 {
+			nowRaw = 0
+		}
+		now := netsim.Time(nowRaw)
+
+		h, stride := UnmarshalSampled(b, now, epochHint)
+		b2 := MarshalSampled(h, stride)
+		h2, stride2 := UnmarshalSampled(b2, now, epochHint)
+		if !reflect.DeepEqual(h, h2) || stride != stride2 {
+			t.Fatalf("sampled codec not idempotent: b=%v h=%+v stride=%d b2=%v stride2=%d", b, h, stride, b2, stride2)
+		}
+		if b2 != b {
+			t.Fatalf("sampled layout defines all 11 bytes but re-encode changed them: %v -> %v", b, b2)
+		}
+	})
+}
+
+// FuzzPintlikeRoundTrip covers the 16-byte probabilistic-slot form. An
+// empty slot (hop index 0) decodes to a nil Ext and zeroes the slot bytes
+// on re-encode, so only header-level idempotence is asserted.
+func FuzzPintlikeRoundTrip(f *testing.F) {
+	f.Add(make([]byte, PintlikeWireBytes), int64(0), uint32(0))
+	f.Add([]byte{0, 0, 0, 9, 0, 3, 0, 8, 0, 1, 1, 0, 12, 7, 2, 4}, int64(2*netsim.Second), uint32(41))
+	f.Fuzz(func(t *testing.T, raw []byte, nowRaw int64, epochHint uint32) {
+		var b [PintlikeWireBytes]byte
+		copy(b[:], raw)
+		if nowRaw < 0 {
+			nowRaw = 0
+		}
+		now := netsim.Time(nowRaw)
+
+		h := UnmarshalPintlike(b, now, epochHint)
+		b2 := MarshalPintlike(h)
+		h2 := UnmarshalPintlike(b2, now, epochHint)
+		if !reflect.DeepEqual(h, h2) {
+			t.Fatalf("pintlike codec not idempotent:\n b=%v -> %+v\nb2=%v -> %+v", b, h, b2, h2)
+		}
+		if b[14] != 0 && b2 != b && b2[10] == b[10] {
+			// With a populated slot every byte except the flags byte is
+			// defined, so nothing else may drift.
+			t.Fatalf("pintlike re-encode changed defined bytes: %v -> %v", b, b2)
+		}
+	})
+}
+
+// FuzzPerhopRoundTrip drives the variable-length classic-INT form through
+// the codec-level Unmarshal: bad lengths must error (never panic), valid
+// stacks must round-trip exactly.
+func FuzzPerhopRoundTrip(f *testing.F) {
+	f.Add(make([]byte, PerhopWireBytes), int64(0), uint32(0))
+	f.Add(make([]byte, PerhopWireBytes+2*PerhopHopBytes), int64(netsim.Second), uint32(9))
+	f.Add([]byte{1, 2, 3}, int64(0), uint32(0))
+	f.Fuzz(func(t *testing.T, raw []byte, nowRaw int64, epochHint uint32) {
+		if nowRaw < 0 {
+			nowRaw = 0
+		}
+		now := netsim.Time(nowRaw)
+		c, err := New("perhop", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := c.Unmarshal(raw, now, epochHint)
+		if len(raw) < PerhopWireBytes || (len(raw)-PerhopWireBytes)%PerhopHopBytes != 0 {
+			if err == nil {
+				t.Fatalf("%d bytes decoded without error", len(raw))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid length %d failed to decode: %v", len(raw), err)
+		}
+		b2 := c.Marshal(h)
+		hops := (len(raw) - PerhopWireBytes) / PerhopHopBytes
+		if want := c.WireBytes() + hops*c.HopBytes(); len(b2) != want {
+			t.Fatalf("re-encode of %d-hop stack is %d bytes, want %d", hops, len(b2), want)
+		}
+		h2, err := c.Unmarshal(b2, now, epochHint)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(h, h2) {
+			t.Fatalf("perhop codec not idempotent:\n%+v\n%+v", h, h2)
+		}
+	})
+}

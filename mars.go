@@ -31,6 +31,7 @@ import (
 	"mars/internal/netsim"
 	"mars/internal/pathid"
 	"mars/internal/rca"
+	"mars/internal/telemetry"
 	"mars/internal/topology"
 	"mars/internal/workload"
 )
@@ -91,6 +92,11 @@ type Config struct {
 	CtrlChan ctrlchan.Config
 	// RCA configures the analyzer.
 	RCA rca.Config
+	// Codec selects the telemetry encoding by registered name
+	// (internal/telemetry). "" or "mars11" is the paper's fixed 11-byte
+	// header; "perhop", "pintlike", and "sampled" trade bytes/packet
+	// against reconstruction fidelity (see `mars-bench -exp overhead`).
+	Codec string
 }
 
 // DefaultConfig mirrors the evaluation setup: K=4 fat-tree at
@@ -144,11 +150,19 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mars: building PathID table: %w", err)
 	}
+	ccfg := cfg.Controller
+	ccfg.Seed = cfg.Seed
+	if cfg.Codec != "" {
+		cdc, err := telemetry.New(cfg.Codec, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("mars: %w", err)
+		}
+		cfg.Program.Codec = cdc
+		ccfg.Decoder = cdc
+	}
 	prog := dataplane.New(cfg.Program, ft.Topology, table, nil)
 	router := netsim.NewECMPRouter(ft.Topology, uint64(cfg.Seed))
 	sim := netsim.New(ft.Topology, router, prog, cfg.Sim, cfg.Seed)
-	ccfg := cfg.Controller
-	ccfg.Seed = cfg.Seed
 	chcfg := cfg.CtrlChan
 	if chcfg.Seed == 0 {
 		chcfg.Seed = cfg.Seed
