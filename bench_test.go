@@ -21,6 +21,8 @@ import (
 // BenchmarkTable1FaultLocalization runs one localization trial per fault
 // kind for every system (E-T1).
 func BenchmarkTable1FaultLocalization(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, kind := range faults.Kinds() {
 			tc := experiments.DefaultTrialConfig(int64(1000+i), kind)
@@ -34,6 +36,8 @@ func BenchmarkTable1FaultLocalization(b *testing.B) {
 // BenchmarkMARSTrial measures one full MARS trial (detection + diagnosis)
 // on the delay scenario.
 func BenchmarkMARSTrial(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := experiments.DefaultTrialConfig(int64(42+i), faults.Delay)
 		experiments.RunTrial(experiments.SysMARS, tc)
@@ -42,6 +46,8 @@ func BenchmarkMARSTrial(b *testing.B) {
 
 // BenchmarkFig2LinkUtilization regenerates the utilization CDF (E-F2).
 func BenchmarkFig2LinkUtilization(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig2(int64(i + 1))
 	}
@@ -49,6 +55,8 @@ func BenchmarkFig2LinkUtilization(b *testing.B) {
 
 // BenchmarkFig3HeaderAndMemory regenerates the header/memory study (E-F3).
 func BenchmarkFig3HeaderAndMemory(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig3()
 	}
@@ -56,6 +64,8 @@ func BenchmarkFig3HeaderAndMemory(b *testing.B) {
 
 // BenchmarkFig5ThresholdTrace regenerates the threshold illustration (E-F5).
 func BenchmarkFig5ThresholdTrace(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig5(int64(i + 1))
 	}
@@ -63,6 +73,8 @@ func BenchmarkFig5ThresholdTrace(b *testing.B) {
 
 // BenchmarkFig7FaultSymptoms regenerates the symptom traces (E-F7).
 func BenchmarkFig7FaultSymptoms(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig7(int64(i + 1))
 	}
@@ -70,6 +82,8 @@ func BenchmarkFig7FaultSymptoms(b *testing.B) {
 
 // BenchmarkFig8AnomalyDetection regenerates the detector comparison (E-F8).
 func BenchmarkFig8AnomalyDetection(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig8(int64(i+1), 10, 600)
 	}
@@ -78,6 +92,8 @@ func BenchmarkFig8AnomalyDetection(b *testing.B) {
 // BenchmarkFig9Overhead regenerates the bandwidth study for MARS only
 // (the full four-system version runs in cmd/mars-bench).
 func BenchmarkFig9Overhead(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := experiments.DefaultTrialConfig(int64(7+i), faults.Delay)
 		experiments.RunTrial(experiments.SysMARS, tc)
@@ -86,6 +102,8 @@ func BenchmarkFig9Overhead(b *testing.B) {
 
 // BenchmarkFig10Resources regenerates the resource-model sweep (E-F10).
 func BenchmarkFig10Resources(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig10()
 	}
@@ -93,6 +111,8 @@ func BenchmarkFig10Resources(b *testing.B) {
 
 // BenchmarkFig11FSMAlgorithms regenerates the miner comparison (E-F11).
 func BenchmarkFig11FSMAlgorithms(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig11(int64(i+1), 2000, 1)
 	}
@@ -106,6 +126,7 @@ func BenchmarkPathIDTableBuild(b *testing.B) {
 		b.Fatal(err)
 	}
 	paths := ft.AllEdgePairPaths()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pathid.BuildTable(pathid.DefaultConfig(), ft.Topology, paths); err != nil {
@@ -118,6 +139,7 @@ func BenchmarkPathIDTableBuild(b *testing.B) {
 func BenchmarkAblationPenalty(b *testing.B) {
 	for _, mode := range []reservoir.PenaltyMode{reservoir.PenaltyText, reservoir.PenaltyOff, reservoir.PenaltyPrinted} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				experiments.RunFig8(int64(i+1), 6, 400)
 				_ = mode
@@ -129,6 +151,8 @@ func BenchmarkAblationPenalty(b *testing.B) {
 // BenchmarkAblationSBFL compares scoring formulas (A-2) with one trial
 // per fault kind.
 func BenchmarkAblationSBFL(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationSBFL(1, int64(100+i))
 	}
@@ -136,6 +160,8 @@ func BenchmarkAblationSBFL(b *testing.B) {
 
 // BenchmarkAblationFSMMaxLen compares pattern length caps (A-3).
 func BenchmarkAblationFSMMaxLen(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationFSMMaxLen(1, int64(100+i))
 	}
@@ -149,6 +175,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		router := netsim.NewECMPRouter(ft.Topology, uint64(i))
 		sim := netsim.New(ft.Topology, router, nil, netsim.DefaultConfig(), int64(i))
@@ -168,6 +195,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkReservoirInput(b *testing.B) {
 	r := reservoir.New(reservoir.DefaultConfig(), rand.New(rand.NewSource(1)))
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Input(float64(1000 + i%100))
 	}

@@ -1,0 +1,242 @@
+// bench-gate compares two Go benchmark output files (a committed baseline
+// and a fresh run, each ideally -count=6) and fails on performance
+// regressions:
+//
+//   - allocs/op: any increase fails. Allocation counts are deterministic
+//     and machine-independent, so this gate is strict.
+//   - ns/op: fails when the new median exceeds the old by more than the
+//     threshold (default 10%) AND the two series do not overlap (every new
+//     sample slower than every old sample), a non-parametric significance
+//     proxy that absorbs scheduler noise at -count=6.
+//
+// Committed baselines are recorded on one machine and replayed on another
+// (e.g. a CI runner), where absolute ns/op is meaningless. When the
+// geometric mean of the per-benchmark speed ratios drifts beyond the
+// -hw-mismatch factor in either direction, the whole run is treated as
+// different hardware: ns/op gating is skipped with a warning and only the
+// machine-independent allocs/op gate applies.
+//
+// Usage:
+//
+//	bench-gate -old BENCH_baseline.txt -new fresh.txt [-threshold 0.10]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// series holds all samples of one benchmark across -count repetitions.
+type series struct {
+	name   string
+	nsOp   []float64
+	allocs []float64 // allocs/op; absent samples are not recorded
+}
+
+func (s *series) medianNs() float64 { return median(s.nsOp) }
+
+func (s *series) maxAllocs() float64 {
+	m := 0.0
+	for _, a := range s.allocs {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// parseBench reads `go test -bench` output: lines of the form
+//
+//	BenchmarkName-8  300000  693.9 ns/op  0 B/op  0 allocs/op
+//
+// The GOMAXPROCS suffix is stripped so baselines transfer across runners.
+func parseBench(path string) (map[string]*series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*series)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &series{name: name}
+			out[name] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsOp = append(s.nsOp, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// gateResult is one benchmark's verdict.
+type gateResult struct {
+	name    string
+	verdict string // "ok", "FAIL", "skip"
+	detail  string
+}
+
+// gate compares baselines against fresh runs and returns per-benchmark
+// verdicts plus overall failure. Benchmarks present on only one side are
+// reported but never fail the gate (renames land with a new baseline).
+func gate(old, fresh map[string]*series, threshold, hwMismatch float64) (results []gateResult, failed bool) {
+	var names []string
+	//mars:mapiter-ok the collected keys are sorted immediately below
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Hardware check: geometric mean of fresh/old median speed ratios.
+	var logSum float64
+	var ratios int
+	for _, name := range names {
+		if f, ok := fresh[name]; ok && len(f.nsOp) > 0 && len(old[name].nsOp) > 0 {
+			r := f.medianNs() / old[name].medianNs()
+			if r > 0 {
+				logSum += math.Log(r)
+				ratios++
+			}
+		}
+	}
+	sameHardware := true
+	if ratios > 0 {
+		geo := math.Exp(logSum / float64(ratios))
+		if geo > hwMismatch || geo < 1/hwMismatch {
+			sameHardware = false
+			results = append(results, gateResult{
+				name:    "(hardware)",
+				verdict: "skip",
+				detail: fmt.Sprintf("geomean speed ratio %.2fx exceeds %.2fx: different hardware assumed, ns/op gate skipped",
+					geo, hwMismatch),
+			})
+		}
+	}
+
+	for _, name := range names {
+		o := old[name]
+		f, ok := fresh[name]
+		if !ok {
+			results = append(results, gateResult{name, "skip", "missing from new run"})
+			continue
+		}
+		res := gateResult{name: name, verdict: "ok"}
+		// Allocation gate: strict, machine-independent.
+		if len(o.allocs) > 0 && len(f.allocs) > 0 && f.maxAllocs() > o.maxAllocs() {
+			res.verdict = "FAIL"
+			res.detail = fmt.Sprintf("allocs/op %g -> %g (any increase fails)", o.maxAllocs(), f.maxAllocs())
+			failed = true
+			results = append(results, res)
+			continue
+		}
+		// Speed gate: median over threshold and series fully separated.
+		if sameHardware && len(o.nsOp) > 0 && len(f.nsOp) > 0 {
+			om, fm := o.medianNs(), f.medianNs()
+			_, oHi := minMax(o.nsOp)
+			fLo, _ := minMax(f.nsOp)
+			if fm > om*(1+threshold) && fLo > oHi {
+				res.verdict = "FAIL"
+				res.detail = fmt.Sprintf("ns/op median %.1f -> %.1f (+%.1f%%, threshold %.0f%%, series disjoint)",
+					om, fm, 100*(fm/om-1), 100*threshold)
+				failed = true
+				results = append(results, res)
+				continue
+			}
+			res.detail = fmt.Sprintf("ns/op median %.1f -> %.1f (%+.1f%%), allocs/op %g", om, fm, 100*(fm/om-1), f.maxAllocs())
+		}
+		results = append(results, res)
+	}
+	//mars:mapiter-ok results are sorted by name immediately below
+	for name := range fresh {
+		if _, ok := old[name]; !ok {
+			results = append(results, gateResult{name, "skip", "missing from baseline (add it on the next re-baseline)"})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].name < results[j].name })
+	return results, failed
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "committed baseline benchmark output")
+		newPath    = flag.String("new", "", "fresh benchmark output to gate")
+		threshold  = flag.Float64("threshold", 0.10, "relative ns/op regression allowed before failing")
+		hwMismatch = flag.Float64("hw-mismatch", 1.5, "geomean speed-ratio factor beyond which ns/op gating is skipped (different hardware)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench-gate: both -old and -new are required")
+		os.Exit(2)
+	}
+	old, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(old) == 0 || len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-gate: no benchmark lines parsed")
+		os.Exit(2)
+	}
+	results, failed := gate(old, fresh, *threshold, *hwMismatch)
+	for _, r := range results {
+		fmt.Printf("%-6s %-32s %s\n", r.verdict, r.name, r.detail)
+	}
+	if failed {
+		fmt.Println("bench-gate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("bench-gate: ok")
+}

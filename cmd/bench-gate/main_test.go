@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseline = `goos: linux
+BenchmarkNetsimStep-8 	  300000	       700.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       705.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       710.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        90.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        91.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        92.0 ns/op	       0 B/op	       0 allocs/op
+`
+
+func parse(t *testing.T, content string) map[string]*series {
+	t.Helper()
+	m, err := parseBench(writeBench(t, "bench.txt", content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseStripsProcsSuffixAndCollectsSeries(t *testing.T) {
+	m := parse(t, baseline)
+	s, ok := m["BenchmarkNetsimStep"]
+	if !ok {
+		t.Fatalf("missing BenchmarkNetsimStep; got %v", m)
+	}
+	if len(s.nsOp) != 3 || len(s.allocs) != 3 {
+		t.Fatalf("series sizes = %d ns, %d allocs, want 3, 3", len(s.nsOp), len(s.allocs))
+	}
+	if got := s.medianNs(); got != 705.0 {
+		t.Errorf("median = %v, want 705", got)
+	}
+}
+
+func TestGatePassesOnNoise(t *testing.T) {
+	old := parse(t, baseline)
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	       712.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       698.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       703.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        93.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        90.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        89.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	if _, failed := gate(old, fresh, 0.10, 1.5); failed {
+		t.Error("noise within threshold must pass")
+	}
+}
+
+func TestGateFailsOnAllocIncrease(t *testing.T) {
+	old := parse(t, baseline)
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	       700.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkNetsimStep-8 	  300000	       702.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkNetsimStep-8 	  300000	       704.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        90.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	if _, failed := gate(old, fresh, 0.10, 1.5); !failed {
+		t.Error("allocs/op increase must fail even with flat ns/op")
+	}
+}
+
+func TestGateFailsOnSignificantSlowdown(t *testing.T) {
+	old := parse(t, baseline)
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	       850.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       855.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       860.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        90.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        91.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        92.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	if _, failed := gate(old, fresh, 0.10, 1.5); !failed {
+		t.Error(">10% disjoint-series slowdown must fail")
+	}
+}
+
+func TestGateIgnoresOverlappingSlowdown(t *testing.T) {
+	old := parse(t, baseline)
+	// Median is +14% but the series overlap the baseline range: noisy
+	// machine, not a regression.
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	       709.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       800.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	       810.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	        90.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	if _, failed := gate(old, fresh, 0.10, 1.5); failed {
+		t.Error("overlapping series must not fail the speed gate")
+	}
+}
+
+func TestGateSkipsSpeedOnHardwareMismatch(t *testing.T) {
+	old := parse(t, baseline)
+	// Everything is uniformly ~2x slower: a different machine. The speed
+	// gate must stand down; the alloc gate stays armed.
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	      1400.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	      1410.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetsimStep-8 	  300000	      1420.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	       180.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	       182.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerHopFold-8 	 2000000	       184.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	results, failed := gate(old, fresh, 0.10, 1.5)
+	if failed {
+		t.Error("uniform slowdown on different hardware must not fail")
+	}
+	found := false
+	for _, r := range results {
+		if r.name == "(hardware)" && r.verdict == "skip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a hardware-mismatch skip notice")
+	}
+}
+
+func TestGateAllocGateSurvivesHardwareMismatch(t *testing.T) {
+	old := parse(t, baseline)
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	      1400.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkNetsimStep-8 	  300000	      1410.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkPerHopFold-8 	 2000000	       180.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	if _, failed := gate(old, fresh, 0.10, 1.5); !failed {
+		t.Error("allocs/op increase must fail even on mismatched hardware")
+	}
+}
+
+func TestGateHandlesMissingBenchmarks(t *testing.T) {
+	old := parse(t, baseline)
+	fresh := parse(t, `
+BenchmarkNetsimStep-8 	  300000	       700.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBrandNew-8   	  300000	       100.0 ns/op	       0 B/op	       0 allocs/op
+`)
+	results, failed := gate(old, fresh, 0.10, 1.5)
+	if failed {
+		t.Error("missing benchmarks must not fail the gate")
+	}
+	skips := 0
+	for _, r := range results {
+		if r.verdict == "skip" {
+			skips++
+		}
+	}
+	if skips != 2 {
+		t.Errorf("skips = %d, want 2 (one absent from each side)", skips)
+	}
+}

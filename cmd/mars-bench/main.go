@@ -8,12 +8,18 @@
 //	mars-bench -exp all
 //
 // Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
-// pathid, scale, ctrlchan, overhead, ablation-sbfl, ablation-fsmlen,
+// pathid, scale, ctrlchan, overhead, perf, ablation-sbfl, ablation-fsmlen,
 // ablation-miner, ablation-cause.
 //
 // The overhead experiment sweeps the registered telemetry codecs
 // (internal/telemetry) over the Table 1 fault suite and renders the
 // bytes/packet vs localization-accuracy frontier.
+//
+// The perf experiment times full MARS trials per codec and emits the
+// machine-readable throughput baseline (the BENCH_perf.json format) on
+// stdout, with a human summary on stderr. Profiling any experiment:
+//
+//	mars-bench -exp table1 -trials 2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Trial-based experiments (table1, fig9, scale, ctrlchan, ablations) run
 // on the internal/harness worker pool: -workers bounds the pool (default
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mars/internal/experiments"
@@ -36,13 +43,43 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (or 'all')")
-		trials   = flag.Int("trials", 8, "trials per fault kind (table1, ablations)")
-		seed     = flag.Int64("seed", 1000, "base random seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "harness worker pool size for trial-based experiments")
-		progress = flag.Bool("progress", false, "stream per-trial progress to stderr")
+		exp        = flag.String("exp", "all", "experiment to run (or 'all')")
+		trials     = flag.Int("trials", 8, "trials per fault kind (table1, ablations)")
+		seed       = flag.Int64("seed", 1000, "base random seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "harness worker pool size for trial-based experiments")
+		progress   = flag.Bool("progress", false, "stream per-trial progress to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mars-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mars-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mars-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mars-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := experiments.EngineOptions{Workers: *workers}
 	if *progress {
@@ -89,6 +126,13 @@ func main() {
 		"overhead": func() {
 			fmt.Print(experiments.RunOverheadWith(opts, *trials, *seed).Render())
 		},
+		"perf": func() {
+			// JSON (the BENCH_perf.json format) on stdout; the human
+			// summary goes to stderr so redirection stays machine-readable.
+			res := experiments.RunPerfWith(opts, *trials/4+1, *seed)
+			fmt.Print(res.JSON())
+			fmt.Fprint(os.Stderr, res.Render())
+		},
 		"ablation-sbfl": func() {
 			fmt.Print(experiments.RunAblationSBFLWith(opts, *trials/2+1, *seed).Render())
 		},
@@ -103,7 +147,7 @@ func main() {
 		},
 	}
 	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
-		"fig10", "fig11", "pathid", "scale", "ctrlchan", "overhead",
+		"fig10", "fig11", "pathid", "scale", "ctrlchan", "overhead", "perf",
 		"ablation-sbfl", "ablation-fsmlen", "ablation-miner", "ablation-cause"}
 
 	timed := func(name string, run func()) {

@@ -79,8 +79,11 @@ type PacketMeta struct {
 	PathID pathid.ID
 	// SourceSwitch is recorded for FlowID reconstruction at the sink.
 	SourceSwitch topology.NodeID
-	// INT is nil for naïve packets.
+	// INT is nil for naïve packets; on telemetry packets it points at the
+	// embedded hdr below so promotion needs no separate allocation.
 	INT *INTHeader
+	// hdr is the in-place storage for INT, enabling PacketMeta pooling.
+	hdr INTHeader
 }
 
 // NotificationKind distinguishes anomaly classes.

@@ -66,10 +66,11 @@ type switchState struct {
 	// thresholds holds dynamic per-flow latency thresholds pushed by the
 	// control plane.
 	thresholds map[FlowID]netsim.Time
-	// lastTelemEpoch tracks the latest telemetry epoch seen per flow at
-	// the sink, for epoch-gap drop detection.
-	lastTelemEpoch map[FlowID]uint32
-	haveTelemEpoch map[FlowID]bool
+	// telemEpoch tracks the latest telemetry epoch seen per flow at the
+	// sink, for epoch-gap drop detection. The stored value is epoch+1 so
+	// that 0 means "never seen", folding the former seen-flag map into
+	// one lookup on the per-telemetry-packet path.
+	telemEpoch map[FlowID]int64
 	// lastNotify enforces the notification window.
 	lastNotify netsim.Time
 	notified   bool
@@ -88,10 +89,31 @@ type Program struct {
 	Stats    Stats
 
 	states []switchState
-	// sinkOf caches each host's edge switch.
-	sinkOf map[topology.NodeID]topology.NodeID
+	// sinkOf caches each host's edge switch, indexed by node ID (-1 for
+	// non-hosts).
+	sinkOf []topology.NodeID
 	// cdc is the resolved telemetry codec (Cfg.Codec or the builtin).
 	cdc Codec
+	// metaFree recycles PacketMeta values: a meta is acquired at the
+	// source switch and released at the sink or on drop, so steady-state
+	// forwarding allocates nothing. LIFO reuse in a single-threaded
+	// simulator is deterministic.
+	metaFree []*PacketMeta
+}
+
+func (p *Program) acquireMeta() *PacketMeta {
+	if n := len(p.metaFree); n > 0 {
+		m := p.metaFree[n-1]
+		p.metaFree[n-1] = nil
+		p.metaFree = p.metaFree[:n-1]
+		return m
+	}
+	return &PacketMeta{}
+}
+
+func (p *Program) releaseMeta(m *PacketMeta) {
+	*m = PacketMeta{}
+	p.metaFree = append(p.metaFree, m)
 }
 
 // New creates the program. paths is the control-plane PathID table (the
@@ -108,15 +130,17 @@ func New(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Noti
 			continue
 		}
 		p.states[i] = switchState{
-			it:             NewIngressTable(),
-			et:             NewEgressTable(),
-			rt:             NewRingTable(cfg.RingSize),
-			thresholds:     make(map[FlowID]netsim.Time),
-			lastTelemEpoch: make(map[FlowID]uint32),
-			haveTelemEpoch: make(map[FlowID]bool),
+			it:         NewIngressTable(len(topo.Nodes)),
+			et:         NewEgressTable(len(topo.Nodes)),
+			rt:         NewRingTable(cfg.RingSize),
+			thresholds: make(map[FlowID]netsim.Time),
+			telemEpoch: make(map[FlowID]int64),
 		}
 	}
-	p.sinkOf = make(map[topology.NodeID]topology.NodeID)
+	p.sinkOf = make([]topology.NodeID, len(topo.Nodes))
+	for i := range p.sinkOf {
+		p.sinkOf[i] = -1
+	}
 	for _, h := range topo.Hosts() {
 		if sw, ok := topo.EdgeSwitchOf(h); ok {
 			p.sinkOf[h] = sw
@@ -193,18 +217,20 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 	if isSource {
 		// Source switch: attach the PathID field, count the flow, and
 		// possibly promote this packet to the epoch's telemetry packet.
-		meta = &PacketMeta{SourceSwitch: sw}
+		meta = p.acquireMeta()
+		meta.SourceSwitch = sw
 		pkt.Meta = meta
 		pkt.ExtraBytes += int32(p.Cfg.PathCfg.HeaderBytes())
 		sink := p.sinkOf[pkt.Dst]
 		st := &p.states[sw]
 		mark, lastCount := st.it.Record(sink, epoch, pkt.Size, now)
 		if mark && p.cdc.Promote(FlowID{Src: sw, Sink: sink}, epoch) {
-			meta.INT = &INTHeader{
+			meta.hdr = INTHeader{
 				SourceTS:       now,
 				LastEpochCount: lastCount,
 				EpochID:        epoch,
 			}
+			meta.INT = &meta.hdr
 			pkt.ExtraBytes += int32(p.cdc.WireBytes())
 			p.Stats.TelemetryPackets++
 		}
@@ -277,9 +303,10 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 			// mean the sampled packets themselves were lost. The expected
 			// spacing is the codec's promotion stride (1 for the paper's
 			// every-epoch encoding), so only whole missing promotions count.
-			had := st.haveTelemEpoch[flow]
+			v := st.telemEpoch[flow] // epoch+1; 0 = never seen
+			had := v > 0
 			if had {
-				last := st.lastTelemEpoch[flow]
+				last := uint32(v - 1)
 				if e > last {
 					if missed := (e - last - 1) / p.cdc.EpochStride(); missed > 0 {
 						rec.EpochGap = missed
@@ -290,10 +317,9 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 					}
 				}
 			}
-			if !had || e > st.lastTelemEpoch[flow] {
-				st.lastTelemEpoch[flow] = e
+			if !had || int64(e)+1 > v {
+				st.telemEpoch[flow] = int64(e) + 1
 			}
-			st.haveTelemEpoch[flow] = true
 			// Count-mismatch drop detection: source saw more packets last
 			// epoch than the sink received. The margin scales with volume:
 			// under transient queueing the path latency can reach a third
@@ -314,12 +340,23 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 		// Strip all MARS headers before the host link: monitoring is
 		// transparent to end hosts.
 		pkt.ExtraBytes = 0
+		pkt.Meta = nil
+		p.releaseMeta(meta)
 		return netsim.ActionForward
 	}
 
 	// The extra header bytes will cross the link out of this switch.
 	p.Stats.TelemetryLinkBytes += int64(pkt.ExtraBytes)
 	return netsim.ActionForward
+}
+
+// OnDrop recycles the packet's PacketMeta: the simulator pools dropped
+// packets, so their meta must be detached and returned with them.
+func (p *Program) OnDrop(s *netsim.Simulator, sw topology.NodeID, port topology.PortID, pkt *netsim.Packet, reason netsim.DropReason) {
+	if meta, ok := pkt.Meta.(*PacketMeta); ok && meta != nil {
+		pkt.Meta = nil
+		p.releaseMeta(meta)
+	}
 }
 
 var _ netsim.Hooks = (*Program)(nil)

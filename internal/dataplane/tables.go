@@ -60,31 +60,36 @@ func (c *epochCounter) lastEpochCount(e uint32) uint32 {
 // IngressTable (IT) is the source-switch state: per-FlowID epoch counters
 // and the bookkeeping that marks exactly one telemetry packet per flow per
 // epoch (§4.2.2). FlowID is simplified to the sink switch because the
-// source switch's own ID covers the other half.
+// source switch's own ID covers the other half. Entries are preallocated
+// register slots indexed by sink switch ID, matching the fixed-size
+// register arrays a P4 pipeline would use; Record is allocation-free.
 type IngressTable struct {
-	flows map[topology.NodeID]*itEntry
+	entries []itEntry
+	flows   int
 }
 
 type itEntry struct {
 	counter        epochCounter
 	lastTelemEpoch uint32
 	haveTelem      bool
+	present        bool
 	lastTelemTS    netsim.Time
 }
 
-// NewIngressTable returns an empty IT.
-func NewIngressTable() *IngressTable {
-	return &IngressTable{flows: make(map[topology.NodeID]*itEntry)}
+// NewIngressTable returns an IT with one preallocated slot per possible
+// sink (numNodes is the topology's node count).
+func NewIngressTable(numNodes int) *IngressTable {
+	return &IngressTable{entries: make([]itEntry, numNodes)}
 }
 
 // Record counts a packet toward (sink, epoch) and reports whether this
 // packet should become the epoch's telemetry packet, together with the
 // previous epoch's packet count to embed.
 func (it *IngressTable) Record(sink topology.NodeID, epoch uint32, size int32, now netsim.Time) (mark bool, lastEpochCount uint32) {
-	e := it.flows[sink]
-	if e == nil {
-		e = &itEntry{}
-		it.flows[sink] = e
+	e := &it.entries[sink]
+	if !e.present {
+		e.present = true
+		it.flows++
 	}
 	e.counter.add(epoch, size)
 	lastEpochCount = e.counter.lastEpochCount(epoch)
@@ -98,14 +103,17 @@ func (it *IngressTable) Record(sink topology.NodeID, epoch uint32, size int32, n
 }
 
 // Flows returns the number of tracked flows (state accounting).
-func (it *IngressTable) Flows() int { return len(it.flows) }
+func (it *IngressTable) Flows() int { return it.flows }
 
 // EgressTable (ET) is the sink-switch state: per-(FlowID, PathID) and
 // per-FlowID epoch counters (§4.2.2). FlowID is simplified to the source
-// switch at the sink.
+// switch at the sink. The per-flow counters are preallocated slots indexed
+// by source switch ID; the per-(flow, path) counters stay keyed by the
+// sparse 16-bit PathID space but store counter values in-map to avoid a
+// pointer allocation per path.
 type EgressTable struct {
 	perPath map[etKey]*epochCounter
-	perFlow map[topology.NodeID]*epochCounter
+	perFlow []epochCounter
 }
 
 type etKey struct {
@@ -113,11 +121,12 @@ type etKey struct {
 	path pathid.ID
 }
 
-// NewEgressTable returns an empty ET.
-func NewEgressTable() *EgressTable {
+// NewEgressTable returns an ET with one preallocated per-flow slot per
+// possible source (numNodes is the topology's node count).
+func NewEgressTable(numNodes int) *EgressTable {
 	return &EgressTable{
 		perPath: make(map[etKey]*epochCounter),
-		perFlow: make(map[topology.NodeID]*epochCounter),
+		perFlow: make([]epochCounter, numNodes),
 	}
 }
 
@@ -130,21 +139,12 @@ func (et *EgressTable) Record(src topology.NodeID, path pathid.ID, epoch uint32,
 		et.perPath[k] = c
 	}
 	c.add(epoch, size)
-	f := et.perFlow[src]
-	if f == nil {
-		f = &epochCounter{}
-		et.perFlow[src] = f
-	}
-	f.add(epoch, size)
+	et.perFlow[src].add(epoch, size)
 }
 
 // FlowLastEpochCount returns the sink-side count of the flow in epoch-1.
 func (et *EgressTable) FlowLastEpochCount(src topology.NodeID, epoch uint32) uint32 {
-	c := et.perFlow[src]
-	if c == nil {
-		return 0
-	}
-	return c.lastEpochCount(epoch)
+	return et.perFlow[src].lastEpochCount(epoch)
 }
 
 // PathLastEpoch returns the per-path count and bytes for epoch-1.

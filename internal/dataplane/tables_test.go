@@ -40,7 +40,7 @@ func TestEpochCounterLastEpochBeforeRoll(t *testing.T) {
 }
 
 func TestIngressTableOneTelemetryPerEpoch(t *testing.T) {
-	it := NewIngressTable()
+	it := NewIngressTable(16)
 	marks := 0
 	for i := 0; i < 10; i++ {
 		mark, _ := it.Record(7, 1, 100, 0)
@@ -64,7 +64,7 @@ func TestIngressTableOneTelemetryPerEpoch(t *testing.T) {
 }
 
 func TestIngressTablePerSinkIsolation(t *testing.T) {
-	it := NewIngressTable()
+	it := NewIngressTable(16)
 	it.Record(1, 1, 100, 0)
 	mark, _ := it.Record(2, 1, 100, 0)
 	if !mark {
@@ -76,7 +76,7 @@ func TestIngressTablePerSinkIsolation(t *testing.T) {
 }
 
 func TestEgressTableCounts(t *testing.T) {
-	et := NewEgressTable()
+	et := NewEgressTable(16)
 	for i := 0; i < 5; i++ {
 		et.Record(3, pathid.ID(0xAB), 1, 500)
 	}

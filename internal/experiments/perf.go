@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"mars/internal/faults"
+)
+
+// The perf experiment measures the simulator's end-to-end packet
+// throughput and the per-packet telemetry cost for every registered codec:
+// one full MARS trial per codec (identical seeds, so identical packet
+// populations), timed wall-clock. Unlike every other experiment, its
+// numbers are machine-dependent by design — the JSON output is a committed
+// baseline (BENCH_perf.json) used by humans and the bench-gate CI job to
+// spot order-of-magnitude regressions, not a deterministic artifact.
+
+// PerfRow is one codec's throughput and overhead measurement.
+type PerfRow struct {
+	Codec string `json:"codec"`
+	// Trials is the number of timed trials aggregated into this row.
+	Trials int `json:"trials"`
+	// Packets is the total end-to-end packet count across trials;
+	// TelemetryPackets the subset promoted to carry INT headers.
+	Packets          int64 `json:"packets"`
+	TelemetryPackets int64 `json:"telemetry_packets"`
+	// TelemetryBytes / TotalLinkBytes mirror the overhead experiment's
+	// byte accounting.
+	TelemetryBytes int64 `json:"telemetry_bytes"`
+	TotalLinkBytes int64 `json:"total_link_bytes"`
+	// WallSeconds is the summed wall-clock time of the timed trials.
+	WallSeconds float64 `json:"wall_seconds"`
+	// PacketsPerSec is end-to-end packets simulated per wall second.
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	// BytesPerPacket is mean in-band telemetry bytes per packet.
+	BytesPerPacket float64 `json:"bytes_per_packet"`
+}
+
+// PerfResult is the full sweep, JSON-serializable for BENCH_perf.json.
+type PerfResult struct {
+	// Note flags the machine sensitivity for anyone diffing baselines.
+	Note  string    `json:"note"`
+	Seed  int64     `json:"seed"`
+	Fault string    `json:"fault"`
+	Rows  []PerfRow `json:"rows"`
+}
+
+// RunPerf measures with default engine options.
+func RunPerf(trials int, baseSeed int64) *PerfResult {
+	return RunPerfWith(EngineOptions{}, trials, baseSeed)
+}
+
+// RunPerfWith times one MARS trial per (codec, trial index) sequentially —
+// timing is the measurement, so the harness pool is bypassed on purpose.
+// Seeds derive exactly as in the overhead sweep, so every codec simulates
+// the same fault sequence and packet population.
+func RunPerfWith(opts EngineOptions, trials int, baseSeed int64) *PerfResult {
+	if trials < 1 {
+		trials = 1
+	}
+	plan := opts.plan()
+	kind := faults.MicroBurst
+	res := &PerfResult{
+		Note:  "wall-clock throughput baseline; machine-dependent, compare only order of magnitude across hosts",
+		Seed:  baseSeed,
+		Fault: kind.String(),
+	}
+	for _, codec := range OverheadCodecs {
+		row := PerfRow{Codec: codec, Trials: trials}
+		for t := 0; t < trials; t++ {
+			seed := plan.TrialSeed(baseSeed, int(kind), t)
+			tc := DefaultTrialConfig(seed, kind)
+			tc.CtrlSeed = plan.CtrlChanSeed(seed)
+			tc.Codec = codec
+			start := time.Now() //mars:wallclock the perf experiment measures wall-clock throughput
+			r := opts.runTrial(SysMARS, tc)
+			row.WallSeconds += time.Since(start).Seconds() //mars:wallclock the perf experiment measures wall-clock throughput
+			row.Packets += r.Packets
+			row.TelemetryPackets += r.TelemetryPackets
+			row.TelemetryBytes += r.TelemetryBytes
+			row.TotalLinkBytes += r.TotalLinkBytes
+		}
+		if row.WallSeconds > 0 {
+			row.PacketsPerSec = float64(row.Packets) / row.WallSeconds
+		}
+		if row.Packets > 0 {
+			row.BytesPerPacket = float64(row.TelemetryBytes) / float64(row.Packets)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// JSON renders the machine-readable baseline (the BENCH_perf.json format).
+func (r *PerfResult) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// The struct contains only plain scalars; marshaling cannot fail.
+		panic(err)
+	}
+	return string(b) + "\n"
+}
+
+// Render formats the human-readable summary.
+func (r *PerfResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Perf: simulator throughput per codec (fault=%s, seed=%d)\n", r.Fault, r.Seed)
+	fmt.Fprintf(&b, "%-10s %12s %10s %10s %12s %8s\n",
+		"codec", "pkts/sec", "packets", "telem-pkt", "wall-sec", "B/pkt")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		fmt.Fprintf(&b, "%-10s %12.0f %10d %10d %12.2f %8.2f\n",
+			row.Codec, row.PacketsPerSec, row.Packets, row.TelemetryPackets,
+			row.WallSeconds, row.BytesPerPacket)
+	}
+	return b.String()
+}

@@ -248,8 +248,8 @@ func TestParseValidNames(t *testing.T) {
 
 func TestParseCaseInsensitive(t *testing.T) {
 	for name, want := range map[string]Kind{
-		"MICRO-BURST": MicroBurst,
-		"Delay":       Delay,
+		"MICRO-BURST":    MicroBurst,
+		"Delay":          Delay,
 		"eCmP-ImBaLaNcE": ECMPImbalance,
 	} {
 		got, err := Parse(name)

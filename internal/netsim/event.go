@@ -1,51 +1,115 @@
 package netsim
 
-import "container/heap"
+// The agenda stores typed events rather than closures: the packet hot path
+// (host arrival, pipeline delay, enqueue, transmit, propagate) runs
+// billions of events per experiment sweep, and a closure per event was the
+// simulator's dominant allocation source. Control-plane and workload
+// callbacks still use the generic evFunc kind through At/After — they fire
+// at per-epoch, not per-packet, rates. Events with equal timestamps fire
+// in scheduling order (seq) so that runs are deterministic; the hand-rolled
+// heap below avoids container/heap's interface boxing, which allocated on
+// every schedule.
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq) so that runs are deterministic.
+type eventKind uint8
+
+const (
+	// evFunc runs a generic scheduled closure (At / After).
+	evFunc eventKind = iota
+	// evHostArrive completes the host NIC serialization + propagation:
+	// the packet has fully arrived at its edge switch (a=edge, b=inPort).
+	evHostArrive
+	// evProcArrive completes the switch-level Delay fault's extra
+	// processing (a=sw, b=inPort).
+	evProcArrive
+	// evEnqueue completes the pipeline processing delay: the packet is
+	// ready at the egress queue (a=sw, b=outPort).
+	evEnqueue
+	// evTxDone completes serialization of the head-of-line packet onto
+	// the link (a=sw, b=outPort).
+	evTxDone
+	// evPropagate completes link propagation: the packet reaches the peer
+	// (a=transmitting sw, b=outPort).
+	evPropagate
+	// evStartTx is a deferred transmitter start when a rate-limit fault
+	// pushed nextFreeAt into the future (a=sw, b=outPort).
+	evStartTx
+)
+
+// event is one scheduled occurrence. Packet events carry their operands
+// inline (node a, port b, pkt); only evFunc carries a closure.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind eventKind
+	a    int32
+	b    int32
+	pkt  *Packet
+	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// agenda is the simulator's pending-event set.
+// agenda is the simulator's pending-event set: a binary min-heap ordered
+// by (at, seq). Events are stored by value in a reusable backing slice, so
+// scheduling allocates only on capacity growth.
 type agenda struct {
-	h   eventHeap
+	h   []event
 	seq uint64
+}
+
+// before reports heap order: earlier time first, scheduling order within a
+// timestamp.
+func (a *agenda) before(i, j int) bool {
+	if a.h[i].at != a.h[j].at {
+		return a.h[i].at < a.h[j].at
+	}
+	return a.h[i].seq < a.h[j].seq
+}
+
+func (a *agenda) push(e event) {
+	a.seq++
+	e.seq = a.seq
+	a.h = append(a.h, e)
+	// Sift up.
+	i := len(a.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.before(i, parent) {
+			break
+		}
+		a.h[i], a.h[parent] = a.h[parent], a.h[i]
+		i = parent
+	}
 }
 
 func (a *agenda) schedule(at Time, fn func()) {
-	a.seq++
-	heap.Push(&a.h, event{at: at, seq: a.seq, fn: fn})
+	a.push(event{at: at, kind: evFunc, fn: fn})
 }
 
 func (a *agenda) empty() bool { return len(a.h) == 0 }
 
-func (a *agenda) next() event { return heap.Pop(&a.h).(event) }
+func (a *agenda) next() event {
+	top := a.h[0]
+	n := len(a.h) - 1
+	a.h[0] = a.h[n]
+	a.h[n] = event{} // release the packet/closure reference
+	a.h = a.h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.before(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a.h[i], a.h[smallest] = a.h[smallest], a.h[i]
+		i = smallest
+	}
+	return top
+}
 
 func (a *agenda) peek() Time { return a.h[0].at }

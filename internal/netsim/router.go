@@ -24,10 +24,17 @@ type Router interface {
 // weights at one switch (e.g. 1:4 .. 1:10).
 type ECMPRouter struct {
 	topo *topology.Topology
-	// dist[sw][edge] = hop distance from switch sw to edge switch of a host.
-	dist map[topology.NodeID]map[topology.NodeID]int32
-	// hostEdge maps each host to its edge switch.
-	hostEdge map[topology.NodeID]topology.NodeID
+	// hostEdge[host] is each host's edge switch (-1 for non-hosts), dense
+	// by node ID for map-free routing.
+	hostEdge []topology.NodeID
+	// hostPort[host] is the edge switch's port toward the host.
+	hostPort []topology.PortID
+	// cands[sw*numNodes+edge] lists the equal-cost next hops from switch
+	// sw toward edge switch edge, ascending by next-hop ID. The candidate
+	// sets depend only on the immutable topology (weights merely bias the
+	// pick), so they are precomputed once and the per-packet Route is
+	// allocation-free.
+	cands [][]nextHop
 	// weights[sw][nextHop] overrides the default weight 1.
 	weights map[topology.NodeID]map[topology.NodeID]int32
 	// salt perturbs the flow hash so different runs explore different
@@ -35,21 +42,37 @@ type ECMPRouter struct {
 	salt uint64
 }
 
-// NewECMPRouter precomputes shortest-path distances between all switches.
+// nextHop is one precomputed equal-cost candidate: the neighbor switch and
+// the local egress port toward it.
+type nextHop struct {
+	sw   topology.NodeID
+	port topology.PortID
+}
+
+// NewECMPRouter precomputes shortest-path distances between all switches
+// and the per-(switch, edge) equal-cost next-hop sets.
 func NewECMPRouter(topo *topology.Topology, salt uint64) *ECMPRouter {
+	n := len(topo.Nodes)
 	r := &ECMPRouter{
 		topo:     topo,
-		dist:     make(map[topology.NodeID]map[topology.NodeID]int32),
-		hostEdge: make(map[topology.NodeID]topology.NodeID),
+		hostEdge: make([]topology.NodeID, n),
+		hostPort: make([]topology.PortID, n),
 		weights:  make(map[topology.NodeID]map[topology.NodeID]int32),
 		salt:     salt,
+	}
+	for i := range r.hostEdge {
+		r.hostEdge[i] = -1
 	}
 	for _, h := range topo.Hosts() {
 		if sw, ok := topo.EdgeSwitchOf(h); ok {
 			r.hostEdge[h] = sw
+			if p, ok := topo.PortTo(sw, h); ok {
+				r.hostPort[h] = p
+			}
 		}
 	}
 	// BFS from every switch over the switch-only subgraph.
+	dist := make(map[topology.NodeID]map[topology.NodeID]int32)
 	for _, src := range topo.Switches() {
 		d := make(map[topology.NodeID]int32, topo.NumSwitches())
 		d[src] = 0
@@ -68,7 +91,34 @@ func NewECMPRouter(topo *topology.Topology, salt uint64) *ECMPRouter {
 				}
 			}
 		}
-		r.dist[src] = d
+		dist[src] = d
+	}
+	// Materialize the candidate sets. Ports are enumerated in ascending
+	// peer order below, matching the sorted order the map-based
+	// implementation produced.
+	r.cands = make([][]nextHop, n*n)
+	for _, sw := range topo.Switches() {
+		for _, edge := range topo.Switches() {
+			if sw == edge {
+				continue
+			}
+			dcur, ok := dist[sw][edge]
+			if !ok {
+				continue
+			}
+			var hops []nextHop
+			for i, p := range topo.Node(sw).Ports {
+				v := p.Peer
+				if !topo.IsSwitch(v) {
+					continue
+				}
+				if d, ok := dist[v][edge]; ok && d == dcur-1 {
+					hops = append(hops, nextHop{sw: v, port: topology.PortID(i)})
+				}
+			}
+			sort.Slice(hops, func(i, j int) bool { return hops[i].sw < hops[j].sw })
+			r.cands[int(sw)*n+int(edge)] = hops
+		}
 	}
 	return r
 }
@@ -96,68 +146,69 @@ func (r *ECMPRouter) ResetWeights(sw topology.NodeID) {
 // NextHops returns the equal-cost next-hop switches from sw toward dst
 // host, in ascending ID order (empty if sw is the destination edge switch).
 func (r *ECMPRouter) NextHops(sw topology.NodeID, dst topology.NodeID) []topology.NodeID {
-	edge, ok := r.hostEdge[dst]
-	if !ok {
+	if int(dst) >= len(r.hostEdge) {
 		return nil
 	}
-	if sw == edge {
+	edge := r.hostEdge[dst]
+	if edge < 0 || sw == edge {
 		return nil
 	}
-	dcur, ok := r.dist[sw][edge]
-	if !ok {
+	cands := r.cands[int(sw)*len(r.hostEdge)+int(edge)]
+	if len(cands) == 0 {
 		return nil
 	}
-	var hops []topology.NodeID
-	for _, p := range r.topo.Node(sw).Ports {
-		v := p.Peer
-		if !r.topo.IsSwitch(v) {
-			continue
-		}
-		if d, ok := r.dist[v][edge]; ok && d == dcur-1 {
-			hops = append(hops, v)
-		}
+	hops := make([]topology.NodeID, len(cands))
+	for i, c := range cands {
+		hops[i] = c.sw
 	}
-	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
 	return hops
 }
 
-// Route implements Router.
+// weightOf returns the configured ECMP weight at sw for next hop via
+// (default 1).
+func (r *ECMPRouter) weightOf(sw, via topology.NodeID) int32 {
+	if m := r.weights[sw]; m != nil {
+		if v, ok := m[via]; ok {
+			return v
+		}
+	}
+	return 1
+}
+
+// Route implements Router. It runs per packet per hop and performs no
+// allocation: candidate sets and host ports are precomputed.
 func (r *ECMPRouter) Route(sw topology.NodeID, pkt *Packet) (topology.PortID, bool) {
-	edge, ok := r.hostEdge[pkt.Dst]
-	if !ok {
+	if int(pkt.Dst) >= len(r.hostEdge) {
+		return 0, false
+	}
+	edge := r.hostEdge[pkt.Dst]
+	if edge < 0 {
 		return 0, false
 	}
 	if sw == edge {
-		return r.topo.PortTo(sw, pkt.Dst)
+		return r.hostPort[pkt.Dst], true
 	}
-	hops := r.NextHops(sw, pkt.Dst)
-	if len(hops) == 0 {
+	cands := r.cands[int(sw)*len(r.hostEdge)+int(edge)]
+	if len(cands) == 0 {
 		return 0, false
 	}
-	next := hops[0]
-	if len(hops) > 1 {
+	next := cands[0]
+	if len(cands) > 1 {
 		var total int64
-		w := make([]int32, len(hops))
-		for i, h := range hops {
-			w[i] = 1
-			if m := r.weights[sw]; m != nil {
-				if v, ok := m[h]; ok {
-					w[i] = v
-				}
-			}
-			total += int64(w[i])
+		for _, c := range cands {
+			total += int64(r.weightOf(sw, c.sw))
 		}
 		h := splitmix64(uint64(pkt.Flow) ^ r.salt ^ uint64(sw)*0x9E3779B97F4A7C15)
 		pick := int64(h % uint64(total))
-		for i := range hops {
-			pick -= int64(w[i])
+		for _, c := range cands {
+			pick -= int64(r.weightOf(sw, c.sw))
 			if pick < 0 {
-				next = hops[i]
+				next = c
 				break
 			}
 		}
 	}
-	return r.topo.PortTo(sw, next)
+	return next.port, true
 }
 
 // splitmix64 is a fast, well-mixed 64-bit hash used for flow placement.

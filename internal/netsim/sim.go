@@ -90,7 +90,12 @@ func DefaultConfig() Config {
 
 // portRuntime is the mutable state of one switch egress port.
 type portRuntime struct {
+	// queue[qhead:] holds the waiting packets. Dequeue advances qhead
+	// instead of re-slicing so the backing array is reused; enqueue
+	// compacts lazily when the tail hits capacity. This keeps the
+	// steady-state enqueue path allocation-free.
 	queue []*Packet
+	qhead int
 	busy  bool
 	// nextFreeAt enforces the process-rate-decrease fault: the earliest
 	// time the next transmission may start.
@@ -105,6 +110,10 @@ type portRuntime struct {
 	// enqueuedBytes tracks current occupancy in bytes for observability.
 	enqueuedBytes int64
 }
+
+// qlen is the number of packets waiting in the queue (excluding any
+// packet currently being serialized).
+func (p *portRuntime) qlen() int { return len(p.queue) - p.qhead }
 
 func (p *portRuntime) minGap() Time {
 	if p.rateLimitPPS <= 0 {
@@ -160,6 +169,11 @@ type Simulator struct {
 	switches []switchRuntime
 	nextPkt  uint64
 	stopped  bool
+	// free is the packet pool: delivered and dropped packets return here
+	// and are reissued by Send with their ground-truth slices' capacity
+	// intact, so a steady-state run allocates no packets at all. Reuse is
+	// LIFO and single-threaded, hence deterministic.
+	free []*Packet
 }
 
 // New creates a simulator over topo using router for forwarding decisions
@@ -213,7 +227,7 @@ func (s *Simulator) Run(until Time) Time {
 	for !s.stopped && !s.agenda.empty() && s.agenda.peek() <= until {
 		e := s.agenda.next()
 		s.now = e.at
-		e.fn()
+		s.dispatch(e)
 	}
 	if s.now < until {
 		s.now = until
@@ -226,13 +240,70 @@ func (s *Simulator) RunAll() Time {
 	for !s.stopped && !s.agenda.empty() {
 		e := s.agenda.next()
 		s.now = e.at
-		e.fn()
+		s.dispatch(e)
 	}
 	return s.now
 }
 
+// dispatch executes one event. Packet events resolve their port operands
+// against the immutable topology at fire time, so the agenda never carries
+// more than (node, port, packet).
+func (s *Simulator) dispatch(e event) {
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evHostArrive:
+		src := e.pkt.Src
+		hostLink := s.Topo.Node(src).Ports[0].Link
+		s.Stats.LinkBytes[hostLink] += int64(e.pkt.WireSize())
+		s.countDir(hostLink, src, e.pkt.WireSize())
+		s.arriveAtSwitch(topology.NodeID(e.a), topology.PortID(e.b), e.pkt)
+	case evProcArrive:
+		s.processAtSwitch(topology.NodeID(e.a), topology.PortID(e.b), e.pkt)
+	case evEnqueue:
+		s.enqueue(topology.NodeID(e.a), topology.PortID(e.b), e.pkt)
+	case evTxDone:
+		s.txDone(topology.NodeID(e.a), topology.PortID(e.b), e.pkt)
+	case evPropagate:
+		port := s.Topo.Node(topology.NodeID(e.a)).Ports[e.b]
+		if s.Topo.IsHost(port.Peer) {
+			s.deliver(port.Peer, e.pkt)
+		} else {
+			s.arriveAtSwitch(port.Peer, port.PeerPort, e.pkt)
+		}
+	case evStartTx:
+		s.startTransmitNow(topology.NodeID(e.a), topology.PortID(e.b))
+	}
+}
+
+// acquirePacket takes a packet from the pool (or allocates the pool's
+// first packets) with all fields zeroed and slice capacity retained.
+func (s *Simulator) acquirePacket() *Packet {
+	if n := len(s.free); n > 0 {
+		pkt := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// releasePacket resets a terminal (delivered or dropped) packet and
+// returns it to the pool. Hooks have already run; per the Hooks contract
+// they copied anything they needed.
+func (s *Simulator) releasePacket(pkt *Packet) {
+	*pkt = Packet{
+		TruePath:       pkt.TruePath[:0],
+		HopQueueDepths: pkt.HopQueueDepths[:0],
+		HopArrivals:    pkt.HopArrivals[:0],
+	}
+	s.free = append(s.free, pkt)
+}
+
 // Send emits a packet from its source host at time t. The packet ID is
-// assigned here. Size must be positive.
+// assigned here. Size must be positive. The returned packet is owned by
+// the simulator and recycled once delivered or dropped; callers and hooks
+// must copy anything they need rather than retain it.
 func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size int32) *Packet {
 	if !s.Topo.IsHost(src) || !s.Topo.IsHost(dst) {
 		panic(fmt.Sprintf("netsim: Send endpoints must be hosts (%d -> %d)", src, dst))
@@ -241,14 +312,13 @@ func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size in
 		panic("netsim: packet size must be positive")
 	}
 	s.nextPkt++
-	pkt := &Packet{
-		ID:       s.nextPkt,
-		Src:      src,
-		Dst:      dst,
-		Flow:     flow,
-		Size:     size,
-		SendTime: t,
-	}
+	pkt := s.acquirePacket()
+	pkt.ID = s.nextPkt
+	pkt.Src = src
+	pkt.Dst = dst
+	pkt.Flow = flow
+	pkt.Size = size
+	pkt.SendTime = t
 	s.Stats.Sent++
 	edge, ok := s.Topo.EdgeSwitchOf(src)
 	if !ok {
@@ -257,12 +327,11 @@ func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size in
 	inPort, _ := s.Topo.PortTo(edge, src)
 	// Host NIC: ideal serialization onto the access link.
 	tx := s.txTimeHost(pkt.WireSize())
-	s.At(t+tx+s.Cfg.PropDelay, func() {
-		hostLink := s.Topo.Node(src).Ports[0].Link
-		s.Stats.LinkBytes[hostLink] += int64(pkt.WireSize())
-		s.countDir(hostLink, src, pkt.WireSize())
-		s.arriveAtSwitch(edge, inPort, pkt)
-	})
+	at := t + tx + s.Cfg.PropDelay
+	if at < s.now {
+		at = s.now
+	}
+	s.agenda.push(event{at: at, kind: evHostArrive, a: int32(edge), b: int32(inPort), pkt: pkt})
 	return pkt
 }
 
@@ -285,7 +354,7 @@ func (s *Simulator) txTimeHost(n int32) Time {
 // itself experiences) and then runs the pipeline.
 func (s *Simulator) arriveAtSwitch(sw topology.NodeID, inPort topology.PortID, pkt *Packet) {
 	if extra := s.switches[sw].procExtra; extra > 0 {
-		s.After(extra, func() { s.processAtSwitch(sw, inPort, pkt) })
+		s.agenda.push(event{at: s.now + extra, kind: evProcArrive, a: int32(sw), b: int32(inPort), pkt: pkt})
 		return
 	}
 	s.processAtSwitch(sw, inPort, pkt)
@@ -304,7 +373,7 @@ func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, 
 	}
 	sr := &s.switches[sw]
 	pr := &sr.ports[outPort]
-	qlen := len(pr.queue)
+	qlen := pr.qlen()
 	if pr.busy {
 		qlen++ // count the in-flight packet as queue occupancy
 	}
@@ -324,18 +393,23 @@ func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, 
 	}
 	// Pipeline processing delay before the packet is ready at the egress
 	// queue.
-	s.After(s.Cfg.SwitchProcDelay, func() {
-		s.enqueue(sw, outPort, pkt)
-	})
+	s.agenda.push(event{at: s.now + s.Cfg.SwitchProcDelay, kind: evEnqueue, a: int32(sw), b: int32(outPort), pkt: pkt})
 }
 
 // enqueue places pkt on the egress queue of sw/outPort (tail-dropping if
 // the queue is at capacity) and kicks the transmitter if idle.
 func (s *Simulator) enqueue(sw topology.NodeID, outPort topology.PortID, pkt *Packet) {
 	pr := &s.switches[sw].ports[outPort]
-	if len(pr.queue) >= s.Cfg.QueueCapacity {
+	if pr.qlen() >= s.Cfg.QueueCapacity {
 		s.drop(sw, outPort, pkt, DropQueueFull)
 		return
+	}
+	if pr.qhead > 0 && len(pr.queue) == cap(pr.queue) {
+		// Reclaim the drained prefix rather than growing the array.
+		n := copy(pr.queue, pr.queue[pr.qhead:])
+		clear(pr.queue[n:])
+		pr.queue = pr.queue[:n]
+		pr.qhead = 0
 	}
 	pr.queue = append(pr.queue, pkt)
 	pr.enqueuedBytes += int64(pkt.WireSize())
@@ -347,14 +421,14 @@ func (s *Simulator) enqueue(sw topology.NodeID, outPort topology.PortID, pkt *Pa
 // startTransmit begins serializing the head-of-line packet.
 func (s *Simulator) startTransmit(sw topology.NodeID, outPort topology.PortID) {
 	pr := &s.switches[sw].ports[outPort]
-	if len(pr.queue) == 0 {
+	if pr.qlen() == 0 {
 		pr.busy = false
 		return
 	}
 	start := s.now
 	if pr.nextFreeAt > start {
 		pr.busy = true
-		s.At(pr.nextFreeAt, func() { s.startTransmitNow(sw, outPort) })
+		s.agenda.push(event{at: pr.nextFreeAt, kind: evStartTx, a: int32(sw), b: int32(outPort)})
 		return
 	}
 	s.startTransmitNow(sw, outPort)
@@ -362,13 +436,18 @@ func (s *Simulator) startTransmit(sw topology.NodeID, outPort topology.PortID) {
 
 func (s *Simulator) startTransmitNow(sw topology.NodeID, outPort topology.PortID) {
 	pr := &s.switches[sw].ports[outPort]
-	if len(pr.queue) == 0 {
+	if pr.qlen() == 0 {
 		pr.busy = false
 		return
 	}
 	pr.busy = true
-	pkt := pr.queue[0]
-	pr.queue = pr.queue[1:]
+	pkt := pr.queue[pr.qhead]
+	pr.queue[pr.qhead] = nil // release the reference for the pool
+	pr.qhead++
+	if pr.qhead == len(pr.queue) {
+		pr.queue = pr.queue[:0]
+		pr.qhead = 0
+	}
 	pr.enqueuedBytes -= int64(pkt.WireSize())
 
 	port := s.Topo.Node(sw).Ports[outPort]
@@ -384,22 +463,17 @@ func (s *Simulator) startTransmitNow(sw topology.NodeID, outPort topology.PortID
 		tx = g
 	}
 	pr.nextFreeAt = s.now + tx
-	link := port.Link
-	peer := port.Peer
-	peerPort := port.PeerPort
-	s.At(s.now+tx, func() {
-		s.Stats.LinkBytes[link] += int64(pkt.WireSize())
-		s.countDir(link, sw, pkt.WireSize())
-		// Departure complete: propagate, then keep the transmitter going.
-		s.At(s.now+s.Cfg.PropDelay, func() {
-			if s.Topo.IsHost(peer) {
-				s.deliver(peer, pkt)
-			} else {
-				s.arriveAtSwitch(peer, peerPort, pkt)
-			}
-		})
-		s.startTransmit(sw, outPort)
-	})
+	s.agenda.push(event{at: s.now + tx, kind: evTxDone, a: int32(sw), b: int32(outPort), pkt: pkt})
+}
+
+// txDone completes one serialization: account the link bytes, schedule the
+// propagation to the peer, then keep the transmitter going.
+func (s *Simulator) txDone(sw topology.NodeID, outPort topology.PortID, pkt *Packet) {
+	port := s.Topo.Node(sw).Ports[outPort]
+	s.Stats.LinkBytes[port.Link] += int64(pkt.WireSize())
+	s.countDir(port.Link, sw, pkt.WireSize())
+	s.agenda.push(event{at: s.now + s.Cfg.PropDelay, kind: evPropagate, a: int32(sw), b: int32(outPort), pkt: pkt})
+	s.startTransmit(sw, outPort)
 }
 
 // countDir attributes bytes to the link direction whose transmitter is
@@ -416,19 +490,21 @@ func (s *Simulator) deliver(host topology.NodeID, pkt *Packet) {
 	s.Stats.Delivered++
 	s.Stats.TotalLatency += s.now - pkt.SendTime
 	s.hooks.OnDeliver(s, host, pkt)
+	s.releasePacket(pkt)
 }
 
 func (s *Simulator) drop(sw topology.NodeID, port topology.PortID, pkt *Packet, reason DropReason) {
 	s.Stats.Dropped++
 	s.Stats.DropsByReason[reason]++
 	s.hooks.OnDrop(s, sw, port, pkt, reason)
+	s.releasePacket(pkt)
 }
 
 // QueueLen returns the current occupancy (packets, including in-flight) of
 // a switch egress port.
 func (s *Simulator) QueueLen(sw topology.NodeID, port topology.PortID) int {
 	pr := &s.switches[sw].ports[port]
-	n := len(pr.queue)
+	n := pr.qlen()
 	if pr.busy {
 		n++
 	}

@@ -50,7 +50,11 @@ func TestTruePathRecorded(t *testing.T) {
 	topo, h0, h1 := linearTopo(t)
 	r := NewECMPRouter(topo, 1)
 	var got []topology.NodeID
-	h := &captureHooks{onDeliver: func(pkt *Packet) { got = pkt.TruePath }}
+	// Copy: the simulator recycles the packet (and its slices) after the
+	// hook returns.
+	h := &captureHooks{onDeliver: func(pkt *Packet) {
+		got = append([]topology.NodeID(nil), pkt.TruePath...)
+	}}
 	s := New(topo, r, h, DefaultConfig(), 1)
 	s.Send(0, h0, h1, 1, 500)
 	s.RunAll()
