@@ -8,8 +8,13 @@
 //	mars-bench -exp all
 //
 // Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
-// pathid, scale, ctrlchan, overhead, perf, ablation-sbfl, ablation-fsmlen,
-// ablation-miner, ablation-cause.
+// pathid, scale, ctrlchan, gray, overhead, perf, ablation-sbfl,
+// ablation-fsmlen, ablation-miner, ablation-cause.
+//
+// The gray experiment runs the gray-failure/correlated-fault/topology-churn
+// schedule suite (silent drop, link flap, link down, switch reboot, uplink
+// degrade, correlated delay+drop) with the paper's signatures and with
+// compound-cause disambiguation side by side.
 //
 // The overhead experiment sweeps the registered telemetry codecs
 // (internal/telemetry) over the Table 1 fault suite and renders the
@@ -123,6 +128,9 @@ func main() {
 		"ctrlchan": func() {
 			fmt.Print(experiments.RunCtrlChanWith(opts, *trials/2+1, *seed).Render())
 		},
+		"gray": func() {
+			fmt.Print(experiments.RunGrayWith(opts, *trials, *seed).Render())
+		},
 		"overhead": func() {
 			fmt.Print(experiments.RunOverheadWith(opts, *trials, *seed).Render())
 		},
@@ -147,8 +155,9 @@ func main() {
 		},
 	}
 	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
-		"fig10", "fig11", "pathid", "scale", "ctrlchan", "overhead", "perf",
-		"ablation-sbfl", "ablation-fsmlen", "ablation-miner", "ablation-cause"}
+		"fig10", "fig11", "pathid", "scale", "ctrlchan", "gray", "overhead",
+		"perf", "ablation-sbfl", "ablation-fsmlen", "ablation-miner",
+		"ablation-cause"}
 
 	timed := func(name string, run func()) {
 		start := time.Now() //mars:wallclock wall-time progress reporting for the operator

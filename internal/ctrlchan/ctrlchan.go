@@ -221,6 +221,13 @@ func (ch *Channel) SetLoss(d Direction, p float64) {
 	cfg.Loss = p
 }
 
+// Loss returns one direction's current loss probability (the value a
+// revert must restore when degradation windows overlap).
+func (ch *Channel) Loss(d Direction) float64 {
+	cfg, _ := ch.dir(d)
+	return cfg.Loss
+}
+
 // SetDirConfig replaces one direction's whole fault model.
 func (ch *Channel) SetDirConfig(d Direction, cfg DirConfig) {
 	c, _ := ch.dir(d)

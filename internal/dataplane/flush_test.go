@@ -1,0 +1,72 @@
+package dataplane
+
+import (
+	"testing"
+
+	"mars/internal/netsim"
+	"mars/internal/topology"
+	"mars/internal/workload"
+)
+
+// A reboot flush wipes the switch's register arrays — Ingress Table,
+// Egress Table, Ring Table, pushed thresholds — while leaving every other
+// switch untouched, and the flushed switch keeps working afterwards.
+func TestFlushSwitchWipesRegisterState(t *testing.T) {
+	cfg := DefaultProgramConfig()
+	env := newEnv(t, cfg, 5)
+	src, dst := env.ft.HostIDs[0], env.ft.HostIDs[8]
+	f := &workload.Flow{Src: src, Dst: dst, Key: 1, RatePPS: 100,
+		Gaps: workload.GapConstant, Sizes: workload.FixedSize(500),
+		Start: 0, Stop: netsim.Second}
+	f.Install(env.sim)
+	env.sim.Run(2 * netsim.Second)
+
+	// The Ingress Table loads at the flow's source edge and the Ring Table
+	// at its sink edge: flush the sink, keep the source as the untouched
+	// witness.
+	sws := append(append(append([]topology.NodeID{}, env.ft.EdgeIDs...), env.ft.AggIDs...), env.ft.CoreIDs...)
+	var victim, witness topology.NodeID = -1, -1
+	for _, sw := range sws {
+		if len(env.prog.RTSnapshot(sw)) > 0 && victim < 0 {
+			victim = sw
+		}
+		if env.prog.ITFlows(sw) > 0 && witness < 0 {
+			witness = sw
+		}
+	}
+	if victim < 0 || witness < 0 || victim == witness {
+		t.Fatalf("victim = %d, witness = %d", victim, witness)
+	}
+	env.prog.SetThreshold(victim, FlowID{Src: src, Sink: dst}, netsim.Millisecond)
+
+	env.prog.FlushSwitch(victim)
+	if env.prog.ITFlows(victim) != 0 {
+		t.Errorf("IT flows after flush = %d", env.prog.ITFlows(victim))
+	}
+	if env.prog.ETEntries(victim) != 0 {
+		t.Errorf("ET entries after flush = %d", env.prog.ETEntries(victim))
+	}
+	if n := len(env.prog.RTSnapshot(victim)); n != 0 {
+		t.Errorf("RT records after flush = %d", n)
+	}
+	if env.prog.ITFlows(witness) == 0 {
+		t.Error("flush must not touch other switches")
+	}
+
+	// The flushed switch must keep functioning: new traffic repopulates it.
+	f2 := &workload.Flow{Src: src, Dst: dst, Key: 2, RatePPS: 100,
+		Gaps: workload.GapConstant, Sizes: workload.FixedSize(500),
+		Start: 2 * netsim.Second, Stop: 3 * netsim.Second}
+	f2.Install(env.sim)
+	env.sim.Run(4 * netsim.Second)
+	if len(env.prog.RTSnapshot(victim)) == 0 {
+		t.Error("flushed switch did not repopulate from new traffic")
+	}
+}
+
+// Flushing a host (a node with no switch state) is a no-op, not a panic.
+func TestFlushSwitchHostNoop(t *testing.T) {
+	cfg := DefaultProgramConfig()
+	env := newEnv(t, cfg, 6)
+	env.prog.FlushSwitch(env.ft.HostIDs[0])
+}

@@ -154,6 +154,26 @@ func (p *Program) EpochOf(t netsim.Time) uint32 {
 	return uint32(t / p.Cfg.Epoch)
 }
 
+// FlushSwitch wipes sw's register state — Ingress Table, Egress Table,
+// Ring Table, dynamic thresholds, and the per-flow telemetry epoch cache —
+// as a switch reboot does to P4 register arrays. The controller is not
+// informed: until its next threshold push the switch runs on defaults,
+// which is exactly the mid-epoch blind spot the switch-reboot gray
+// scenario exercises. No-op for hosts.
+func (p *Program) FlushSwitch(sw topology.NodeID) {
+	st := &p.states[sw]
+	if st.it == nil {
+		return
+	}
+	st.it = NewIngressTable(len(p.Topo.Nodes))
+	st.et = NewEgressTable(len(p.Topo.Nodes))
+	st.rt = NewRingTable(p.Cfg.RingSize)
+	clear(st.thresholds)
+	clear(st.telemEpoch)
+	st.lastNotify = 0
+	st.notified = false
+}
+
 // SetThreshold installs a dynamic latency threshold for flow at switch sw
 // (the control plane pushes the same value to every switch on the flow's
 // paths; pushing to all switches is equivalent and simpler).

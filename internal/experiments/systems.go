@@ -96,7 +96,12 @@ func runSystemTrial(s SystemUnderTest, tc TrialConfig) TrialResult {
 	installWorkload(tc, sub.Sim, ft)
 	gt := inj.Inject(tc.Fault, tc.FaultStart, tc.FaultDur)
 	sub.Sim.Run(tc.Total)
-	return s.Localize(tc, sub, gt)
+	res := s.Localize(tc, sub, gt)
+	// The handle is live injection lifecycle state, not part of the result
+	// record; keeping it would make otherwise-identical results compare
+	// unequal across reruns.
+	res.GT.Handle = nil
+	return res
 }
 
 // --- MARS -----------------------------------------------------------------
@@ -183,6 +188,10 @@ func (m *marsSystem) Start(tc TrialConfig, sub *Substrate, inj *faults.Injector)
 		}
 	}
 	inj.Chan = m.ch
+	// Wire the reboot register flush: a SwitchReboot injection wipes the
+	// program's IT/ET/RT state on recovery. Harmless for every other
+	// scenario (the flusher only fires from a reboot revert).
+	inj.Registers = m.prog
 }
 
 func (m *marsSystem) Localize(tc TrialConfig, sub *Substrate, gt faults.GroundTruth) TrialResult {

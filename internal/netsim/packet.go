@@ -62,6 +62,10 @@ const (
 	DropNoRoute
 	// DropByProgram means the active Hooks requested the drop.
 	DropByProgram
+	// DropLinkDown means the egress link was down (link failure or flap).
+	DropLinkDown
+	// DropSwitchDown means the packet arrived at a rebooting switch.
+	DropSwitchDown
 )
 
 func (r DropReason) String() string {
@@ -74,6 +78,10 @@ func (r DropReason) String() string {
 		return "no-route"
 	case DropByProgram:
 		return "by-program"
+	case DropLinkDown:
+		return "link-down"
+	case DropSwitchDown:
+		return "switch-down"
 	default:
 		return fmt.Sprintf("DropReason(%d)", uint8(r))
 	}

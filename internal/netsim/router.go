@@ -143,6 +143,33 @@ func (r *ECMPRouter) ResetWeights(sw topology.NodeID) {
 	delete(r.weights, sw)
 }
 
+// WeightsAt returns a copy of the weight overrides at sw (nil when the
+// split is even). Fault injections snapshot this before skewing so a
+// revert can restore exactly what it displaced, even under overlapping
+// schedule windows.
+func (r *ECMPRouter) WeightsAt(sw topology.NodeID) map[topology.NodeID]int32 {
+	m := r.weights[sw]
+	if m == nil {
+		return nil
+	}
+	out := make(map[topology.NodeID]int32, len(m))
+	//mars:mapiter-ok plain copy; no ordered output derived from iteration
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreWeights replaces sw's overrides with a snapshot from WeightsAt
+// (nil restores even splitting, like ResetWeights).
+func (r *ECMPRouter) RestoreWeights(sw topology.NodeID, saved map[topology.NodeID]int32) {
+	if len(saved) == 0 {
+		delete(r.weights, sw)
+		return
+	}
+	r.weights[sw] = saved
+}
+
 // NextHops returns the equal-cost next-hop switches from sw toward dst
 // host, in ascending ID order (empty if sw is the destination edge switch).
 func (r *ECMPRouter) NextHops(sw topology.NodeID, dst topology.NodeID) []topology.NodeID {

@@ -104,6 +104,7 @@ type portRuntime struct {
 	// Fault state:
 	dropProb     float64 // random loss probability per enqueue
 	blackhole    bool    // drop everything
+	down         bool    // attached link is administratively/physically down
 	rateLimitPPS float64 // max departures per second; 0 = unlimited
 	extraLatency Time    // added to every transmission (Delay fault)
 
@@ -126,6 +127,7 @@ func (p *portRuntime) minGap() Time {
 type switchRuntime struct {
 	ports     []portRuntime
 	procExtra Time // switch-level Delay fault
+	down      bool // switch is rebooting: every arriving packet is lost
 }
 
 // Stats aggregates run-level counters.
@@ -142,7 +144,7 @@ type Stats struct {
 	Delivered int64
 	Dropped   int64
 	// DropsByReason indexes DropReason.
-	DropsByReason [4]int64
+	DropsByReason [6]int64
 	// TotalLatency accumulates end-to-end latency of delivered packets.
 	TotalLatency Time
 }
@@ -362,6 +364,12 @@ func (s *Simulator) arriveAtSwitch(sw topology.NodeID, inPort topology.PortID, p
 
 // processAtSwitch runs the ingress pipeline, routing, and enqueue for pkt.
 func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, pkt *Packet) {
+	if s.switches[sw].down {
+		// A rebooting switch does not run its pipeline: the packet is lost
+		// before it can leave a telemetry trace at this hop.
+		s.drop(sw, inPort, pkt, DropSwitchDown)
+		return
+	}
 	pkt.TruePath = append(pkt.TruePath, sw)
 	pkt.HopArrivals = append(pkt.HopArrivals, s.now)
 	s.hooks.OnSwitchArrival(s, sw, inPort, pkt)
@@ -385,6 +393,10 @@ func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, 
 	}
 	if pr.blackhole {
 		s.drop(sw, outPort, pkt, DropFault)
+		return
+	}
+	if pr.down {
+		s.drop(sw, outPort, pkt, DropLinkDown)
 		return
 	}
 	if pr.dropProb > 0 && s.rng.Float64() < pr.dropProb {
@@ -550,4 +562,63 @@ func (s *Simulator) SetPortExtraLatency(sw topology.NodeID, port topology.PortID
 // the switch (the Delay fault at switch level: interrupts, power, config).
 func (s *Simulator) SetSwitchExtraDelay(sw topology.NodeID, d Time) {
 	s.switches[sw].procExtra = d
+}
+
+// PortDropProb returns the current loss probability on an egress port.
+func (s *Simulator) PortDropProb(sw topology.NodeID, port topology.PortID) float64 {
+	return s.switches[sw].ports[port].dropProb
+}
+
+// PortRateLimit returns the current departure cap on a port (0 = none).
+func (s *Simulator) PortRateLimit(sw topology.NodeID, port topology.PortID) float64 {
+	return s.switches[sw].ports[port].rateLimitPPS
+}
+
+// SwitchExtraDelay returns the current switch-level extra delay.
+func (s *Simulator) SwitchExtraDelay(sw topology.NodeID) Time {
+	return s.switches[sw].procExtra
+}
+
+// --- Dynamic link and switch state ----------------------------------------
+//
+// Gray-failure scenarios (link down, flapping, switch reboot) toggle these
+// mid-run. The flags live on the per-port and per-switch runtime structs the
+// hot path already touches, so checking them costs one branch and zero
+// allocations (see hotpath_allocs_test.go).
+
+// SetLinkUp raises or lowers a link. A lowered link drops every packet that
+// tries to cross it, in both directions, at the moment the sender's egress
+// pipeline reaches it. Packets already serialized onto the wire complete
+// their propagation (the photons are in flight).
+func (s *Simulator) SetLinkUp(link topology.LinkID, up bool) {
+	l := s.Topo.Links[link]
+	if s.Topo.IsSwitch(l.A) {
+		s.switches[l.A].ports[l.APort].down = !up
+	}
+	if s.Topo.IsSwitch(l.B) {
+		s.switches[l.B].ports[l.BPort].down = !up
+	}
+}
+
+// LinkUp reports whether a link is currently up. Host-to-host links do not
+// exist in a fat-tree, so at least one endpoint carries the flag.
+func (s *Simulator) LinkUp(link topology.LinkID) bool {
+	l := s.Topo.Links[link]
+	if s.Topo.IsSwitch(l.A) {
+		return !s.switches[l.A].ports[l.APort].down
+	}
+	return !s.switches[l.B].ports[l.BPort].down
+}
+
+// SetSwitchDown marks a switch as rebooting (or recovered). While down the
+// switch loses every arriving packet; its register state is NOT cleared
+// here — the injector flushes the dataplane program separately, mirroring
+// how a real reboot wipes P4 register arrays.
+func (s *Simulator) SetSwitchDown(sw topology.NodeID, down bool) {
+	s.switches[sw].down = down
+}
+
+// SwitchDown reports whether sw is currently rebooting.
+func (s *Simulator) SwitchDown(sw topology.NodeID) bool {
+	return s.switches[sw].down
 }

@@ -1,0 +1,156 @@
+package rca
+
+import (
+	"testing"
+
+	"mars/internal/dataplane"
+	"mars/internal/topology"
+)
+
+func compoundAnalyzer() *Analyzer {
+	cfg := DefaultConfig()
+	cfg.CompoundCauses = true
+	return New(cfg, nil, nil)
+}
+
+// synthetic flowStats with per-epoch (src, sink) pairs.
+func statsWithEpochs(pairs [][2]uint32) *flowStats {
+	fs := &flowStats{
+		epochCounts:  make(map[uint32]uint32),
+		pathCounts:   make(map[string]float64),
+		paths:        make(map[string]topology.Path),
+		pathAbnormal: make(map[string]float64),
+		epochSinks:   make(map[uint32]uint32),
+		gapEpochs:    make(map[uint32]bool),
+	}
+	for i, p := range pairs {
+		fs.epochCounts[uint32(i)] = p[0]
+		fs.epochSinks[uint32(i)] = p[1]
+	}
+	return fs
+}
+
+func TestHardLossEpoch(t *testing.T) {
+	fs := statsWithEpochs([][2]uint32{
+		{20, 20}, // clean
+		{20, 5},  // hard loss (sink < half)
+		{20, 18}, // soft loss (gray)
+		{2, 0},   // tiny sample: below the src floor
+	})
+	want := []bool{false, true, false, false}
+	for e, w := range want {
+		if got := fs.hardLossEpoch(uint32(e)); got != w {
+			t.Errorf("hardLossEpoch(%d) = %v, want %v", e, got, w)
+		}
+	}
+	fs.gapEpochs[0] = true
+	if !fs.hardLossEpoch(0) {
+		t.Error("a gap epoch is hard loss regardless of counts")
+	}
+}
+
+func TestFlapTransitionsCountsAlternation(t *testing.T) {
+	a := compoundAnalyzer()
+	// down/up/down/up: 20->2 is hard loss, 20->20 clean.
+	flap := statsWithEpochs([][2]uint32{
+		{20, 2}, {20, 20}, {20, 2}, {20, 20}, {20, 2}, {20, 20},
+	})
+	if got := a.flapTransitions(flap); got < a.Cfg.FlapMinTransitions {
+		t.Errorf("flap transitions = %d, want >= %d", got, a.Cfg.FlapMinTransitions)
+	}
+	// One contiguous outage: at most two transitions.
+	outage := statsWithEpochs([][2]uint32{
+		{20, 20}, {20, 20}, {20, 1}, {20, 2}, {20, 1}, {20, 20},
+	})
+	if got := a.flapTransitions(outage); got > 2 {
+		t.Errorf("single outage transitions = %d, want <= 2", got)
+	}
+	// Steady gray loss (10%): marginal epochs are ambiguous, never flap.
+	gray := statsWithEpochs([][2]uint32{
+		{20, 18}, {20, 17}, {20, 18}, {20, 19}, {20, 17}, {20, 18},
+	})
+	if got := a.flapTransitions(gray); got != 0 {
+		t.Errorf("steady gray loss transitions = %d, want 0", got)
+	}
+}
+
+// classifyDropCause taxonomy: flap vs reboot vs degrade vs steady drop.
+func TestClassifyDropCauseTaxonomy(t *testing.T) {
+	a := compoundAnalyzer()
+	link := []topology.NodeID{4, 9}
+	path := topology.Path{2, 4, 9, 11}
+	mk := func(pairs [][2]uint32, abnormal float64) (map[dataplane.FlowID]bool, map[dataplane.FlowID]*flowStats) {
+		flow := dataplane.FlowID{Src: 0, Sink: 11}
+		fs := statsWithEpochs(pairs)
+		fs.pathCounts[path.String()] = 10
+		fs.paths[path.String()] = path
+		fs.pathAbnormal[path.String()] = abnormal
+		return map[dataplane.FlowID]bool{flow: true}, map[dataplane.FlowID]*flowStats{flow: fs}
+	}
+
+	flapping := [][2]uint32{{20, 2}, {20, 20}, {20, 2}, {20, 20}, {20, 2}, {20, 20}}
+	affected, stats := mk(flapping, 0)
+	if got := a.classifyDropCause(link, affected, stats); got != CauseLinkFlap {
+		t.Errorf("alternating hard loss = %v, want link-flap", got)
+	}
+	// The same alternation WITH latency evidence is congestion collapse,
+	// not an administrative flap.
+	affected, stats = mk(flapping, 10)
+	if got := a.classifyDropCause(link, affected, stats); got != CauseDrop {
+		t.Errorf("alternating loss with latency = %v, want drop", got)
+	}
+
+	// Partial loss plus latency on a link pattern: degraded link.
+	soft := [][2]uint32{{20, 18}, {20, 17}, {20, 18}, {20, 17}, {20, 18}, {20, 17}}
+	affected, stats = mk(soft, 10)
+	if got := a.classifyDropCause(link, affected, stats); got != CauseLinkDegrade {
+		t.Errorf("soft loss with latency = %v, want link-degrade", got)
+	}
+	// Silent partial loss with no latency stays steady drop.
+	affected, stats = mk(soft, 0)
+	if got := a.classifyDropCause(link, affected, stats); got != CauseDrop {
+		t.Errorf("silent soft loss = %v, want drop", got)
+	}
+}
+
+func TestClassifyDropCauseReboot(t *testing.T) {
+	a := compoundAnalyzer()
+	sub := []topology.NodeID{4}
+	outage := [][2]uint32{{20, 20}, {20, 1}, {20, 1}, {20, 20}}
+	affected := make(map[dataplane.FlowID]bool)
+	stats := make(map[dataplane.FlowID]*flowStats)
+	// Three flows through switch 4 from distinct neighbors: the loss fans.
+	for i, p := range []topology.Path{{1, 4, 9}, {2, 4, 10}, {3, 4, 11}} {
+		flow := dataplane.FlowID{Src: topology.NodeID(100 + i), Sink: p[len(p)-1]}
+		fs := statsWithEpochs(outage)
+		fs.pathCounts[p.String()] = 10
+		fs.paths[p.String()] = p
+		affected[flow] = true
+		stats[flow] = fs
+	}
+	if got := a.classifyDropCause(sub, affected, stats); got != CauseSwitchReboot {
+		t.Errorf("fanned hard outage = %v, want switch-reboot", got)
+	}
+	// Without hard loss the fan is not a reboot.
+	for _, fs := range stats {
+		//mars:mapiter-ok uniform mutation of every entry
+		for e := range fs.epochCounts {
+			fs.epochSinks[e] = fs.epochCounts[e]
+		}
+	}
+	if got := a.classifyDropCause(sub, affected, stats); got == CauseSwitchReboot {
+		t.Error("clean counts must not classify as reboot")
+	}
+}
+
+func TestCompoundCausesOffNeverEmitsGrayLabels(t *testing.T) {
+	for _, c := range []Cause{CauseLinkDegrade, CauseLinkFlap, CauseSwitchReboot} {
+		if c.String() == "" {
+			t.Fatal("gray causes must have names")
+		}
+	}
+	cfg := DefaultConfig()
+	if cfg.CompoundCauses {
+		t.Fatal("CompoundCauses must default to off — the paper's behavior is the baseline")
+	}
+}

@@ -41,6 +41,16 @@ const (
 	CauseDelay
 	// CauseDrop is the port/switch-level loss cause.
 	CauseDrop
+	// CauseLinkDegrade is the compound gray cause: a degraded link whose
+	// ECMP reaction produces the congestion the paper's signature blames
+	// on the divergence switch. Only emitted with Config.CompoundCauses.
+	CauseLinkDegrade
+	// CauseLinkFlap is intermittent loss: drop evidence that alternates
+	// with clean epochs. Only emitted with Config.CompoundCauses.
+	CauseLinkFlap
+	// CauseSwitchReboot is a node-level outage: loss fanning across many
+	// neighbors of one switch. Only emitted with Config.CompoundCauses.
+	CauseSwitchReboot
 )
 
 func (c Cause) String() string {
@@ -55,6 +65,12 @@ func (c Cause) String() string {
 		return "delay"
 	case CauseDrop:
 		return "drop"
+	case CauseLinkDegrade:
+		return "link-degrade"
+	case CauseLinkFlap:
+		return "link-flap"
+	case CauseSwitchReboot:
+		return "switch-reboot"
 	default:
 		return fmt.Sprintf("Cause(%d)", uint8(c))
 	}
@@ -174,6 +190,24 @@ type Config struct {
 	// looks like a count mismatch; only sustained (recent) mismatches
 	// drive the drop pipeline.
 	RecentWindow netsim.Time
+	// CompoundCauses enables the gray-failure signatures: link-degrade
+	// disambiguation behind ECMP divergence, link-flap intermittency, and
+	// switch-reboot fan-out. Off by default so the paper's five-signature
+	// behavior (and its pinned experiment digests) is unchanged; the gray
+	// experiment flips it on for its compound mode.
+	CompoundCauses bool
+	// MinLinkEvidence is the least degradation evidence (abnormal packet
+	// weight plus weighted telemetry gaps) a starved ECMP branch must
+	// carry before the link-degrade signature re-blames the light link.
+	MinLinkEvidence float64
+	// FlapMinTransitions is the least number of bad↔clean epoch
+	// alternations across a pattern's flows before drop evidence is
+	// classified as flapping rather than steady loss.
+	FlapMinTransitions int
+	// RebootMinFan is the least number of distinct path neighbors of a
+	// single-switch drop pattern before the loss is classified as a
+	// node-level outage (reboot) rather than one bad link.
+	RebootMinFan int
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -195,6 +229,9 @@ func DefaultConfig() Config {
 		DropCountThreshold:   3,
 		MinAbnormalRecords:   4,
 		RecentWindow:         400 * netsim.Millisecond,
+		MinLinkEvidence:      2,
+		FlapMinTransitions:   4,
+		RebootMinFan:         3,
 	}
 }
 
@@ -250,6 +287,14 @@ func (a *Analyzer) Analyze(d controlplane.Diagnosis) []Culprit {
 	} else if d.Trigger.Kind == dataplane.NotifyDrop {
 		// The data plane explicitly flagged loss: report both views.
 		runDrop = true
+	} else if a.Cfg.CompoundCauses {
+		// Gray failures hide behind latency noise: a silently lossy link
+		// produces small per-flow deficits that never trip the data plane's
+		// drop trigger, while incidental latency culprits keep the drop
+		// pipeline from ever running. Compound mode always cross-checks
+		// cumulative loss evidence so persistent gray loss accumulates rank
+		// across diagnoses even when each one also has a latency story.
+		runDrop = a.hasDropEvidence(d)
 	}
 	out := lat
 	if runDrop {

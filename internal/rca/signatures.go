@@ -30,6 +30,15 @@ type flowStats struct {
 	// records; the congestion signature uses their median, which is robust
 	// to a single queue blip.
 	abnormalQueueDepths []float64
+	// pathAbnormal maps decoded path (by key) -> estimated over-threshold
+	// packets along that path. The link-degrade signature uses it to find
+	// degradation evidence on an ECMP branch that carries little traffic.
+	pathAbnormal map[string]float64
+	// epochSinks maps telemetry epoch -> sink-side packet count, and
+	// gapEpochs marks epochs whose records reported telemetry gaps; the
+	// flap signature reads per-epoch loss on/off transitions from them.
+	epochSinks map[uint32]uint32
+	gapEpochs  map[uint32]bool
 	// minEpoch is the earliest epoch among the flow's records, used to
 	// spot flows that appeared mid-window (candidate bursts).
 	minEpoch uint32
@@ -85,19 +94,32 @@ func (a *Analyzer) collectFlowStats(records []dataplane.RTRecord) map[dataplane.
 		fs := stats[r.Flow]
 		if fs == nil {
 			fs = &flowStats{
-				epochCounts: make(map[uint32]uint32),
-				pathCounts:  make(map[string]float64),
-				paths:       make(map[string]topology.Path),
+				epochCounts:  make(map[uint32]uint32),
+				pathCounts:   make(map[string]float64),
+				paths:        make(map[string]topology.Path),
+				pathAbnormal: make(map[string]float64),
+				epochSinks:   make(map[uint32]uint32),
+				gapEpochs:    make(map[uint32]bool),
 			}
 			stats[r.Flow] = fs
 		}
 		if r.SourceCount > fs.epochCounts[r.Epoch] {
 			fs.epochCounts[r.Epoch] = r.SourceCount
 		}
+		if r.SinkCount > fs.epochSinks[r.Epoch] {
+			fs.epochSinks[r.Epoch] = r.SinkCount
+		}
+		if r.EpochGap > 0 {
+			fs.gapEpochs[r.Epoch] = true
+		}
+		abnormal := a.Thr != nil && r.Latency > a.Thr.ThresholdOf(r.Flow)
 		if path, ok := a.decode(r); ok {
 			k := path.String()
 			fs.pathCounts[k] += float64(r.PathCount) + 1
 			fs.paths[k] = path
+			if abnormal {
+				fs.pathAbnormal[k] += float64(r.PathCount) + 1
+			}
 		}
 		if r.TotalQueueDepth > fs.maxQueueDepth {
 			fs.maxQueueDepth = r.TotalQueueDepth
@@ -106,7 +128,7 @@ func (a *Analyzer) collectFlowStats(records []dataplane.RTRecord) map[dataplane.
 			fs.minEpoch = r.Epoch
 			fs.hasEpoch = true
 		}
-		if a.Thr != nil && r.Latency > a.Thr.ThresholdOf(r.Flow) {
+		if abnormal {
 			fs.abnormalQueueDepths = append(fs.abnormalQueueDepths, float64(r.TotalQueueDepth))
 		}
 	}
@@ -437,12 +459,36 @@ func (a *Analyzer) analyzeLatency(d controlplane.Diagnosis) []Culprit {
 				c.Cause = CauseECMPImbalance
 				c.Level = LevelSwitch
 				c.Location = []topology.NodeID{up}
+				// Compound-cause check: if a starved branch out of the
+				// divergence switch carries its own degradation evidence,
+				// the imbalance is the reaction and the sick link the
+				// root; rank the link above the switch.
+				if a.Cfg.CompoundCauses {
+					if link, ok := a.degradedLightBranch(up, flowPkts, stats); ok {
+						culprits = append(culprits, Culprit{
+							Cause:    CauseLinkDegrade,
+							Level:    LevelPort,
+							Location: link,
+							Score:    sp.score * compoundBoost,
+						})
+					}
+				}
 			} else {
 				c.Cause = CauseProcessRate
 				if len(sp.sub) == 2 {
 					c.Level = LevelPort
 				} else {
 					c.Level = LevelSwitch
+				}
+				// Compound-cause check: a congested link whose traversing
+				// flows also lose packets is a degraded link, not a slow
+				// processing stage — queuing delays packets but never
+				// destroys them. Re-label and boost so the sick link wins
+				// the ranking over its own downstream symptoms.
+				if a.Cfg.CompoundCauses && len(sp.sub) == 2 &&
+					a.lossFlowCount(flowPkts, stats) >= 2 {
+					c.Cause = CauseLinkDegrade
+					c.Score = sp.score * compoundBoost
 				}
 			}
 		} else {
@@ -524,6 +570,9 @@ func (a *Analyzer) analyzeDrop(d controlplane.Diagnosis) []Culprit {
 			c.Level = LevelPort
 		} else {
 			c.Level = LevelSwitch
+		}
+		if a.Cfg.CompoundCauses {
+			c.Cause = a.classifyDropCause(sp.sub, affected, stats)
 		}
 		culprits = append(culprits, c)
 	}

@@ -187,6 +187,32 @@ func (t *Topology) Neighbors(id NodeID) []NodeID {
 	return out
 }
 
+// LinkBetween returns the link connecting a and b (in either orientation).
+// ok is false if the nodes are not adjacent.
+func (t *Topology) LinkBetween(a, b NodeID) (LinkID, bool) {
+	n := &t.Nodes[a]
+	for i := range n.Ports {
+		if n.Ports[i].Peer == b {
+			return n.Ports[i].Link, true
+		}
+	}
+	return 0, false
+}
+
+// InterSwitchLinks lists the IDs of links whose endpoints are both
+// switches, in ascending link order. These are the links the gray-failure
+// scenarios (link down, flapping) draw from: host access links are
+// excluded because killing one just silences its host.
+func (t *Topology) InterSwitchLinks() []LinkID {
+	var out []LinkID
+	for _, l := range t.Links {
+		if t.IsSwitch(l.A) && t.IsSwitch(l.B) {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
 // EdgeSwitchOf returns the edge switch a host is attached to. It returns
 // ok=false if id is not a host or the host has no switch neighbor.
 func (t *Topology) EdgeSwitchOf(host NodeID) (NodeID, bool) {

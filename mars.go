@@ -61,6 +61,30 @@ const (
 	FaultCtrlChan    = faults.CtrlChanDegrade
 )
 
+// The gray-failure scenario family: partial, intermittent, and correlated
+// faults outside the paper's Table 1 (see `mars-bench -exp gray`).
+const (
+	FaultSilentDrop    = faults.SilentDrop
+	FaultLinkFlap      = faults.LinkFlap
+	FaultLinkDown      = faults.LinkDown
+	FaultSwitchReboot  = faults.SwitchReboot
+	FaultUplinkDegrade = faults.UplinkDegrade
+)
+
+// Injection is one timed fault inside a Schedule.
+type Injection = faults.Injection
+
+// Schedule is a declarative list of timed, possibly overlapping fault
+// injections applied as one episode.
+type Schedule = faults.Schedule
+
+// Episode is the ground truth of an applied Schedule: every injected
+// fault with its causal links and lifecycle handles.
+type Episode = faults.Episode
+
+// Fault is one episode entry: a ground truth plus its causal parent.
+type Fault = faults.Fault
+
 // Culprit is one entry of the ranked diagnosis output.
 type Culprit = rca.Culprit
 
@@ -178,6 +202,7 @@ func NewSystem(cfg Config) (*System, error) {
 		injector: faults.NewInjector(sim, ft, router),
 	}
 	s.injector.Chan = ch
+	s.injector.Registers = prog
 	s.Analyzer = rca.New(cfg.RCA, table, ctrl)
 	ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
 		s.Diagnoses = append(s.Diagnoses, d)
@@ -212,6 +237,15 @@ func (s *System) StartBackground(numFlows int, ratePPS float64) {
 // ground truth (for validation and experiments).
 func (s *System) InjectFault(kind FaultKind, start, dur Time) GroundTruth {
 	return s.injector.Inject(kind, start, dur)
+}
+
+// InjectSchedule applies a declarative fault schedule — multiple timed,
+// possibly overlapping injections — and returns the episode ground truth.
+// Each injection draws from its own seeded RNG, so adding or removing
+// entries never perturbs the targets of the others.
+func (s *System) InjectSchedule(sched Schedule) *Episode {
+	s.injector.ScheduleSeed = s.cfg.Seed
+	return s.injector.Apply(sched)
 }
 
 // Run advances the simulation to the given time.
