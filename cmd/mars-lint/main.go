@@ -6,6 +6,7 @@
 //	mars-lint ./...              # lint the whole module
 //	mars-lint internal/rca       # lint one directory as a bare package
 //	mars-lint -json ./...        # machine-readable findings
+//	mars-lint -only detflow ./...# run a subset of analyzers
 //	mars-lint -list              # describe the analyzers
 //
 // Exit codes: 0 clean, 1 findings, 2 load or usage error — suitable for CI.
@@ -15,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,22 +25,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI, factored so tests can drive it with captured
+// streams. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mars-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, a := range analysis.All() {
-			suppress := "not suppressible"
-			if a.Directive != "" {
-				suppress = "suppress with //mars:" + a.Directive
-			}
-			fmt.Printf("%-10s %s (%s)\n", a.Name, a.Doc, suppress)
-		}
-		return
+		fmt.Fprint(stdout, AnalyzerList())
+		return 0
 	}
 
 	analyzers := analysis.All()
@@ -47,56 +53,84 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "mars-lint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "mars-lint: unknown analyzer %q; valid names: %s\n",
+					strings.TrimSpace(name), strings.Join(analyzerNames(), ", "))
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"./..."}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
 	}
 	var pkgs []*analysis.Package
-	for _, arg := range args {
+	for _, arg := range targets {
 		if arg == "./..." || arg == "..." {
 			root, err := moduleRoot()
 			if err != nil {
-				fail(err)
+				return fail(stderr, err)
 			}
 			loaded, err := analysis.LoadModule(root)
 			if err != nil {
-				fail(err)
+				return fail(stderr, err)
 			}
 			pkgs = append(pkgs, loaded...)
 			continue
 		}
 		pkg, err := analysis.LoadDir(arg)
 		if err != nil {
-			fail(err)
+			return fail(stderr, err)
 		}
 		pkgs = append(pkgs, pkg)
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // a clean run renders as [], not null
+		}
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
-			fail(err)
+			return fail(stderr, err)
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "mars-lint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "mars-lint: %d finding(s)\n", len(diags))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// AnalyzerList renders the -list output: one line per analyzer with its
+// doc string and suppression directive. README.md embeds this text
+// verbatim between lint-list markers; CI diffs the two.
+func AnalyzerList() string {
+	var b strings.Builder
+	for _, a := range analysis.All() {
+		suppress := "not suppressible"
+		if a.Directive != "" {
+			suppress = "suppress with //mars:" + a.Directive
+		}
+		fmt.Fprintf(&b, "%-12s %s (%s)\n", a.Name, a.Doc, suppress)
+	}
+	return b.String()
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.
@@ -117,7 +151,7 @@ func moduleRoot() (string, error) {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mars-lint:", err)
-	os.Exit(2)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "mars-lint:", err)
+	return 2
 }

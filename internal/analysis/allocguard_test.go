@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAllocGuardRegistry is the static/dynamic cross-check: the analyzer's
+// guard registry must exactly match the Test*Allocs functions in the repo
+// that actually call testing.AllocsPerRun, and every //mars:alloc
+// suppression on the tree must cite a registered guard. Neither view can
+// drift from the other without failing here.
+func TestAllocGuardRegistry(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic := make(map[string]bool)
+	var citations []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		// Actual directive comments only (same shape collectDirectives
+		// accepts); prose mentioning the protocol does not count.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//mars:alloc ")
+				if !ok {
+					continue
+				}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					citations = append(citations, path+": "+fields[0])
+				}
+			}
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, "Test") || !strings.HasSuffix(name, "Allocs") {
+				continue
+			}
+			usesAllocsPerRun := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "AllocsPerRun" {
+					usesAllocsPerRun = true
+				}
+				return !usesAllocsPerRun
+			})
+			if usesAllocsPerRun {
+				dynamic[name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var found []string
+	for name := range dynamic {
+		found = append(found, name)
+	}
+	sort.Strings(found)
+	registered := AllocGuardTests()
+	if strings.Join(found, ",") != strings.Join(registered, ",") {
+		t.Errorf("guard registry drift:\n  Test*Allocs(AllocsPerRun) in tree: %v\n  allocGuards registry:              %v\nupdate allocGuards in allocfree.go to match the tree",
+			found, registered)
+	}
+
+	if len(citations) == 0 {
+		t.Fatalf("no //mars:alloc citations found in the tree; the suppression scan is broken")
+	}
+	for _, c := range citations {
+		guard := c[strings.LastIndex(c, " ")+1:]
+		if !allocGuards[guard] {
+			t.Errorf("//mars:alloc cites unregistered guard %q (%s)", guard, c)
+		}
+	}
+}

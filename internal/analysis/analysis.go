@@ -45,16 +45,41 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyzer is one check of the suite.
+// Analyzer is one check of the suite. Single-package analyzers set Run;
+// interprocedural analyzers set RunModule and receive every package of the
+// load at once, plus the shared call graph.
 type Analyzer struct {
 	Name string
 	// Doc is the one-line description shown by mars-lint -list.
 	Doc string
 	// Directive, when non-empty, names the //mars:<directive> suppression:
 	// a finding whose line (or the line above it) carries the directive is
-	// dropped by the driver.
+	// dropped by the driver (unless SelfSuppress is set).
 	Directive string
-	Run       func(p *Pass)
+	// ExtraDirectives lists additional //mars: names the analyzer consults
+	// itself via Suppressed, so stale-directive accounting knows which
+	// analyzers must have run before an unused directive is declared dead.
+	ExtraDirectives []string
+	// SelfSuppress disables the driver's automatic directive drop: the
+	// analyzer validates and honors its directive itself (allocfree checks
+	// that a suppression cites a real AllocsPerRun guard before accepting
+	// it, which the blanket drop could not express).
+	SelfSuppress bool
+	Run          func(p *Pass)
+	RunModule    func(p *ModulePass)
+}
+
+// consumes reports whether the analyzer honors the named directive.
+func (a *Analyzer) consumes(name string) bool {
+	if a.Directive == name {
+		return true
+	}
+	for _, d := range a.ExtraDirectives {
+		if d == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Pass is one (analyzer, package) execution.
@@ -62,6 +87,7 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	report   func(Diagnostic)
+	ignore   bool // ignore suppression directives (testing only)
 }
 
 // Reportf records a finding at pos.
@@ -91,13 +117,97 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // Suppressed reports whether pos's line or the line directly above carries
 // the named //mars: directive.
 func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
+	if p.ignore {
+		return false
+	}
 	position := p.Pkg.Fset.Position(pos)
 	return p.Pkg.hasDirective(position.Filename, position.Line, directive)
 }
 
+// ModulePass is one (analyzer, load) execution for interprocedural
+// analyzers: every package of the load, sharing one FileSet, plus the call
+// graph (built once per load and shared between analyzers).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Fset     *token.FileSet
+	graph    **CallGraph // lazily built, shared across the load's analyzers
+	byFile   map[string]*Package
+	report   func(Diagnostic)
+	ignore   bool
+}
+
+// Graph returns the load's call graph, building it on first use.
+func (p *ModulePass) Graph() *CallGraph {
+	if *p.graph == nil {
+		*p.graph = BuildCallGraph(p.Pkgs)
+	}
+	return *p.graph
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether pos's line or the line directly above carries
+// the named //mars: directive.
+func (p *ModulePass) Suppressed(pos token.Pos, directive string) bool {
+	if p.ignore {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	pkg := p.byFile[position.Filename]
+	return pkg != nil && pkg.hasDirective(position.Filename, position.Line, directive)
+}
+
+// DirectiveNear returns the named directive on pos's line or the line
+// above (marking it used), plus its free-text reason. Analyzers that
+// validate suppression contents (allocfree's guard citations) use this
+// instead of the boolean Suppressed.
+func (p *ModulePass) DirectiveNear(pos token.Pos, name string) (reason string, ok bool) {
+	if p.ignore {
+		return "", false
+	}
+	position := p.Fset.Position(pos)
+	pkg := p.byFile[position.Filename]
+	if pkg == nil {
+		return "", false
+	}
+	byLine := pkg.directives[position.Filename]
+	if byLine == nil {
+		return "", false
+	}
+	for _, l := range [2]int{position.Line, position.Line - 1} {
+		for _, d := range byLine[l] {
+			if d.name == name {
+				d.used = true
+				return d.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// PkgOf returns the package owning the file at pos, or nil.
+func (p *ModulePass) PkgOf(pos token.Pos) *Package {
+	return p.byFile[p.Fset.Position(pos).Filename]
+}
+
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Mapiter, Seedflow, Wirewidth, Lockheld}
+	return []*Analyzer{
+		Detrand, Mapiter, Seedflow, Wirewidth, Lockheld,
+		Detflow, Allocfree, Lifecycle, Exhaustcase,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -113,21 +223,97 @@ func ByName(name string) *Analyzer {
 // Run executes the analyzers over the packages and returns the surviving
 // diagnostics sorted by position. Findings suppressed by their analyzer's
 // directive are dropped here, so every analyzer gets uniform suppression
-// semantics for free.
+// semantics for free. After the analyzers finish, any //mars: directive
+// that excused nothing is itself reported (staledirective), provided every
+// analyzer that could have consumed it actually ran.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	return runImpl(pkgs, analyzers, false)
+}
+
+// RunIgnoringDirectives executes the analyzers with every //mars:
+// suppression disabled, so tests can prove each directive on the tree is
+// load-bearing: the findings it excuses must resurface without it.
+func RunIgnoringDirectives(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runImpl(pkgs, analyzers, true)
+}
+
+func runImpl(pkgs []*Package, analyzers []*Analyzer, ignore bool) []Diagnostic {
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			pass.report = func(d Diagnostic) {
-				if a.Directive != "" && pkg.hasDirective(d.File, d.Line, a.Directive) {
+		pkg.resetDirectiveUse()
+	}
+	var out []Diagnostic
+	reportFor := func(a *Analyzer, lookup func(d Diagnostic) *Package) func(Diagnostic) {
+		return func(d Diagnostic) {
+			if !ignore && !a.SelfSuppress && a.Directive != "" {
+				if pkg := lookup(d); pkg != nil && pkg.hasDirective(d.File, d.Line, a.Directive) {
 					return
 				}
-				out = append(out, d)
 			}
+			out = append(out, d)
+		}
+	}
+
+	// Single-package passes.
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, ignore: ignore}
+			pass.report = reportFor(a, func(Diagnostic) *Package { return pkg })
 			a.Run(pass)
 		}
 	}
+
+	// Module passes, grouped by FileSet: packages loaded together share
+	// one FileSet and one call graph; bare-directory loads each form
+	// their own group.
+	type group struct {
+		fset   *token.FileSet
+		pkgs   []*Package
+		byFile map[string]*Package
+		graph  *CallGraph
+	}
+	var groups []*group
+	byFset := make(map[*token.FileSet]*group)
+	for _, pkg := range pkgs {
+		grp := byFset[pkg.Fset]
+		if grp == nil {
+			grp = &group{fset: pkg.Fset, byFile: make(map[string]*Package)}
+			byFset[pkg.Fset] = grp
+			groups = append(groups, grp)
+		}
+		grp.pkgs = append(grp.pkgs, pkg)
+		for file := range pkg.directives { //mars:mapiter-ok byFile is itself an unordered index; insertion order cannot show
+			grp.byFile[file] = pkg
+		}
+		for _, f := range pkg.Files {
+			grp.byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	for _, grp := range groups {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			pass := &ModulePass{
+				Analyzer: a,
+				Pkgs:     grp.pkgs,
+				Fset:     grp.fset,
+				graph:    &grp.graph,
+				byFile:   grp.byFile,
+				ignore:   ignore,
+			}
+			lookup := func(d Diagnostic) *Package { return grp.byFile[d.File] }
+			pass.report = reportFor(a, lookup)
+			a.RunModule(pass)
+		}
+	}
+
+	if !ignore {
+		out = append(out, staleDirectives(pkgs, analyzers)...)
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -144,6 +330,66 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
+	return out
+}
+
+// structuralDirectives are //mars: markers that never suppress a finding
+// and so are exempt from staleness: "root" marks call-graph entry points
+// in golden corpora.
+var structuralDirectives = map[string]bool{"root": true}
+
+// staleDirectives reports //mars: comments that excused nothing. A
+// directive is stale only when every analyzer of the full suite that
+// consumes it was part of this run (a partial -only run must not condemn
+// a directive its consumer never got to use); a directive no analyzer
+// recognizes at all is always a finding.
+func staleDirectives(pkgs []*Package, ran []*Analyzer) []Diagnostic {
+	ranSet := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	allConsumersRan := func(name string) (known bool, covered bool) {
+		covered = true
+		for _, a := range All() {
+			if !a.consumes(name) {
+				continue
+			}
+			known = true
+			if !ranSet[a.Name] {
+				covered = false
+			}
+		}
+		return known, covered
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, byLine := range pkg.directives {
+			for _, ds := range byLine {
+				for _, d := range ds {
+					if d.used || structuralDirectives[d.name] {
+						continue
+					}
+					known, covered := allConsumersRan(d.name)
+					diag := Diagnostic{
+						Analyzer: "staledirective",
+						Pos:      d.pos,
+						File:     d.pos.Filename,
+						Line:     d.pos.Line,
+						Col:      d.pos.Column,
+					}
+					switch {
+					case !known:
+						diag.Message = fmt.Sprintf("unknown directive //mars:%s; no analyzer consumes it (typo?)", d.name)
+					case covered:
+						diag.Message = fmt.Sprintf("stale directive //mars:%s suppresses nothing; the finding it excused is gone — delete it", d.name)
+					default:
+						continue
+					}
+					out = append(out, diag) //mars:mapiter-ok diagnostics are position-sorted by runImpl before being returned
+				}
+			}
+		}
+	}
 	return out
 }
 
@@ -172,6 +418,11 @@ func rootIdent(e ast.Expr) *ast.Ident {
 // calleeFunc resolves a call to the *types.Func it invokes, or nil (calls
 // through function values, builtins, conversions).
 func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	return calleeFuncInfo(p.Pkg.Info, call)
+}
+
+// calleeFuncInfo is calleeFunc for callers that hold only type info.
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fn := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -181,8 +432,34 @@ func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
 	default:
 		return nil
 	}
-	f, _ := p.ObjectOf(id).(*types.Func)
+	f, _ := info.ObjectOf(id).(*types.Func)
 	return f
+}
+
+// ambientSink classifies a resolved callee as a nondeterminism sink:
+// "time.Now"-style wall-clock reads or draws from the global math/rand
+// generator. Returns "" for deterministic calls. detrand reports these at
+// direct call sites; detflow reports them transitively along the call
+// graph.
+func ambientSink(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockFuncs[fn.Name()] && isPkgFunc(fn, "time", fn.Name()) {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !isPkgFunc(fn, fn.Pkg().Path(), fn.Name()) {
+			return "" // methods on an explicit *rand.Rand are fine
+		}
+		if globalRandAllowed[fn.Name()] {
+			return ""
+		}
+		return "rand." + fn.Name()
+	}
+	return ""
 }
 
 // isPkgFunc reports whether f is the package-level function pkgPath.name.

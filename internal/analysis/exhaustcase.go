@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustcase guards the repo's enum-like kind sets: fault kinds, drop
+// reasons, event kinds, RCA cause levels. PR 6 added five fault kinds at
+// once; the failure mode this analyzer exists for is the switch somewhere
+// in RCA or the injector that silently keeps working on the old kinds and
+// never sees the new ones. Any switch whose tag has an enum type (a
+// defined integer/string type with two or more package-level constants)
+// must either list every constant value in its cases or carry
+// //mars:partial <why> stating which kinds are intentionally out of
+// scope. A default clause does not excuse omissions: defaults are for
+// invalid values, not for quietly absorbing newly added kinds.
+var Exhaustcase = &Analyzer{
+	Name:      "exhaustcase",
+	Doc:       "require switches over enum-like kind sets to handle every constant",
+	Directive: "partial",
+	RunModule: runExhaustcase,
+}
+
+// enumSet is the constant universe of one enum-like named type.
+type enumSet struct {
+	named *types.Named
+	// consts in declaration-sorted name order.
+	consts []*types.Const
+	// values is the set of exact constant values (dedupes aliases).
+	values map[string]bool
+}
+
+func runExhaustcase(p *ModulePass) {
+	enums := collectEnums(p.Pkgs)
+	if len(enums) == 0 {
+		return
+	}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(p, pkg, sw, enums)
+				return true
+			})
+		}
+	}
+}
+
+// collectEnums finds every defined named type with a basic integer or
+// string underlying type and at least two package-level constants of that
+// exact type, across all loaded packages.
+func collectEnums(pkgs []*Package) map[*types.TypeName]*enumSet {
+	out := make(map[*types.TypeName]*enumSet)
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named, ok := c.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok {
+				continue
+			}
+			if basic.Info()&(types.IsInteger|types.IsString) == 0 {
+				continue
+			}
+			tn := named.Obj()
+			set := out[tn]
+			if set == nil {
+				set = &enumSet{named: named, values: make(map[string]bool)}
+				out[tn] = set
+			}
+			set.consts = append(set.consts, c)
+			set.values[c.Val().ExactString()] = true
+		}
+	}
+	for tn, set := range out {
+		if len(set.values) < 2 {
+			delete(out, tn)
+		}
+	}
+	return out
+}
+
+// checkSwitch verifies one switch whose tag is enum-typed.
+func checkSwitch(p *ModulePass, pkg *Package, sw *ast.SwitchStmt, enums map[*types.TypeName]*enumSet) {
+	tagType := pkg.Info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	set := enums[named.Obj()]
+	if set == nil {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if tv, ok := pkg.Info.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	// Name each missing value after the constant declared in the enum's
+	// own package; cross-package aliases (experiments re-exports fault
+	// kinds) would otherwise hijack the message.
+	nameFor := make(map[string]string)
+	for _, c := range set.consts {
+		if c.Pkg() == set.named.Obj().Pkg() {
+			v := c.Val().ExactString()
+			if _, ok := nameFor[v]; !ok {
+				nameFor[v] = c.Name()
+			}
+		}
+	}
+	for _, c := range set.consts {
+		v := c.Val().ExactString()
+		if _, ok := nameFor[v]; !ok {
+			nameFor[v] = c.Name()
+		}
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	for _, c := range set.consts {
+		v := c.Val().ExactString()
+		if covered[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		missing = append(missing, nameFor[v])
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.Reportf(sw.Pos(),
+		"switch on %s misses %s; handle every kind (a default absorbs new kinds silently) or annotate //mars:partial <which kinds are out of scope and why>",
+		set.named.Obj().Name(), strings.Join(missing, ", "))
+}

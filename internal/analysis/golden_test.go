@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -68,8 +69,13 @@ func runGolden(t *testing.T, a *Analyzer) {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
 	diags := Run([]*Package{pkg}, []*Analyzer{a})
-	wants := parseWants(t, dir)
+	matchWants(t, diags, parseWants(t, dir))
+}
 
+// matchWants verifies diagnostics against expectations both ways: every
+// diagnostic must match a want on its line, every want must be hit.
+func matchWants(t *testing.T, diags []Diagnostic, wants []*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
@@ -93,29 +99,97 @@ func runGolden(t *testing.T, a *Analyzer) {
 	}
 }
 
-func TestDetrandGolden(t *testing.T)   { runGolden(t, Detrand) }
-func TestMapiterGolden(t *testing.T)   { runGolden(t, Mapiter) }
-func TestSeedflowGolden(t *testing.T)  { runGolden(t, Seedflow) }
-func TestWirewidthGolden(t *testing.T) { runGolden(t, Wirewidth) }
-func TestLockheldGolden(t *testing.T)  { runGolden(t, Lockheld) }
+func TestDetrandGolden(t *testing.T)     { runGolden(t, Detrand) }
+func TestMapiterGolden(t *testing.T)     { runGolden(t, Mapiter) }
+func TestSeedflowGolden(t *testing.T)    { runGolden(t, Seedflow) }
+func TestWirewidthGolden(t *testing.T)   { runGolden(t, Wirewidth) }
+func TestLockheldGolden(t *testing.T)    { runGolden(t, Lockheld) }
+func TestDetflowGolden(t *testing.T)     { runGolden(t, Detflow) }
+func TestAllocfreeGolden(t *testing.T)   { runGolden(t, Allocfree) }
+func TestLifecycleGolden(t *testing.T)   { runGolden(t, Lifecycle) }
+func TestExhaustcaseGolden(t *testing.T) { runGolden(t, Exhaustcase) }
 
-// TestRepoClean is the enforcement half of the suite: the repository's own
-// tree must produce zero diagnostics from every analyzer. A violation
-// introduced anywhere in the module fails this test (and CI's lint job).
-func TestRepoClean(t *testing.T) {
-	root, err := filepath.Abs(filepath.Join("..", ".."))
+// TestLifecycleCrossPackage runs lifecycle over a tiny multi-package
+// module, where the out-of-package Apply/Revert rule can actually fire:
+// the driver package calls into the window package's handle type.
+func TestLifecycleCrossPackage(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "mod", "lifecyclemod"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	pkgs, err := LoadModule(root)
 	if err != nil {
+		t.Fatalf("loading corpus module: %v", err)
+	}
+	var wants []*expectation
+	for _, sub := range []string{"window", "driver"} {
+		wants = append(wants, parseWants(t, filepath.Join(root, sub))...)
+	}
+	matchWants(t, Run(pkgs, []*Analyzer{Lifecycle}), wants)
+}
+
+// loadRepo loads the repository's own module once for every test that
+// analyzes the real tree.
+var loadRepo = sync.OnceValues(func() ([]*Package, error) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		return nil, err
+	}
+	return LoadModule(root)
+})
+
+// TestRepoClean is the enforcement half of the suite: the repository's own
+// tree must produce zero diagnostics from every analyzer. A violation
+// introduced anywhere in the module fails this test (and CI's lint job).
+func TestRepoClean(t *testing.T) {
+	pkgs, err := loadRepo()
+	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
 	if len(pkgs) < 10 {
-		t.Fatalf("loaded only %d packages from %s; module walk is broken", len(pkgs), root)
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
 	}
 	for _, d := range Run(pkgs, All()) {
 		t.Errorf("repo must lint clean, got: %s", d)
+	}
+}
+
+// TestSuppressionsLoadBearing proves the tree's //mars: suppressions are
+// each excusing a live finding: with directives ignored, the findings they
+// excuse must resurface. Paired with TestRepoClean (zero findings with
+// directives honored), this pins that deleting any suppression flips
+// mars-lint to a non-zero exit.
+func TestSuppressionsLoadBearing(t *testing.T) {
+	pkgs, err := loadRepo()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := RunIgnoringDirectives(pkgs, All())
+	wants := []struct {
+		analyzer string
+		file     string // path suffix
+		substr   string
+	}{
+		{"detflow", "harness/harness.go", "goroutine spawned inside the deterministic core"},
+		{"allocfree", "netsim/sim.go", "append (may grow the backing array)"},
+		{"allocfree", "dataplane/program.go", "escaping composite literal"},
+		{"lifecycle", "netsim/sim.go", "acquires a pooled Packet"},
+		{"lifecycle", "faults/faults.go", "never armed, returned, or stored"},
+		{"exhaustcase", "experiments/gray.go", "switch on Kind misses"},
+		{"mapiter", "analysis/analysis.go", "depends on iteration order"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.HasSuffix(filepath.ToSlash(d.File), w.file) && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("ignoring directives did not resurface %s finding %q in %s; is the suppression still load-bearing?",
+				w.analyzer, w.substr, w.file)
+		}
 	}
 }
 

@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lifecycle enforces the two resource disciplines the fault-schedule and
+// packet-pool machinery rely on:
+//
+//  1. Handle escrow. A type with Apply/Revert methods (faults.Handle) is a
+//     guarded lifecycle: creating one and letting it drop on the floor
+//     means a fault window that never arms or never reverts. Every
+//     producer site (a &T{...} literal or a call returning *T) must hand
+//     the handle somewhere — into a call (the injector's scheduleWindow
+//     escrow), a return, or a store — within its own branch. Apply/Revert
+//     themselves may only be called from the package that owns the type:
+//     external callers must go through the scheduler, which is what makes
+//     double-apply/double-revert structurally impossible.
+//
+//  2. Pool pairing. For each acquireX/releaseX function pair (the packet
+//     and meta pools), every function that acquires must reach the
+//     matching release somewhere in its call graph, or carry a
+//     //mars:lifecycle comment documenting where ownership goes (the
+//     event agenda owns in-flight packets; deliver/drop release them).
+//
+// Suppress with //mars:lifecycle <why> at the finding site.
+var Lifecycle = &Analyzer{
+	Name:      "lifecycle",
+	Doc:       "verify fault-handle apply/revert escrow and pool acquire/release pairing",
+	Directive: "lifecycle",
+	RunModule: runLifecycle,
+}
+
+func runLifecycle(p *ModulePass) {
+	handles := findHandleTypes(p)
+	if len(handles) > 0 {
+		checkHandleEscrow(p, handles)
+		checkApplyRevertCallers(p, handles)
+	}
+	checkPoolPairing(p)
+}
+
+// findHandleTypes returns every named type of the load with both an Apply
+// and a Revert method — the shape of a guarded fault-injection lifecycle.
+func findHandleTypes(p *ModulePass) []*types.Named {
+	var out []*types.Named
+	for _, t := range concreteNamedTypes(p.Pkgs) {
+		if hasMethod(t, "Apply") && hasMethod(t, "Revert") {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func hasMethod(t *types.Named, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, t.Obj().Pkg(), name)
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == name
+}
+
+// isHandlePtr reports whether t is *H for one of the handle types.
+func isHandlePtr(t types.Type, handles []*types.Named) *types.Named {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for _, h := range handles {
+		if named.Origin() == h.Origin() {
+			return h
+		}
+	}
+	return nil
+}
+
+// checkHandleEscrow flags producer sites whose handle never escapes the
+// producing branch: it is neither passed to a call, returned, nor stored.
+func checkHandleEscrow(p *ModulePass, handles []*types.Named) {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			checkEscrowFile(p, pkg, f, handles)
+		}
+	}
+}
+
+func checkEscrowFile(p *ModulePass, pkg *Package, f *ast.File, handles []*types.Named) {
+	info := pkg.Info
+	// stack of enclosing nodes, innermost last.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		producer := false
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit && isHandlePtr(info.TypeOf(x), handles) != nil {
+					producer = true
+				}
+			}
+		case *ast.CallExpr:
+			if isHandlePtr(info.TypeOf(x), handles) != nil {
+				// A call producing a handle. Constructor calls inside the
+				// handle type's own method set are allowed plumbing.
+				producer = true
+			}
+		}
+		if producer {
+			checkEscrowSite(p, pkg, n.(ast.Expr), stack)
+		}
+		return true
+	}
+	ast.Inspect(f, visit)
+}
+
+// checkEscrowSite decides whether one producer expression escrows its
+// handle. The scope searched for an escrowing use of the assigned variable
+// is the innermost enclosing case clause or block, so a switch that builds
+// a different handle per branch is judged branch by branch.
+func checkEscrowSite(p *ModulePass, pkg *Package, producer ast.Expr, stack []ast.Node) {
+	info := pkg.Info
+	// Walk outward: if the producer feeds a call, return, or store
+	// directly, it is escrowed.
+	var holder types.Object
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch x := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return // argument (or constructor chaining): escrowed
+		case *ast.ReturnStmt:
+			return // escrowed by return
+		case *ast.CompositeLit, *ast.IndexExpr, *ast.SendStmt:
+			return // stored into a container
+		case *ast.AssignStmt:
+			// Which side? producer on RHS: find the matching LHS.
+			for j, rhs := range x.Rhs {
+				if containsNode(rhs, producer) && j < len(x.Lhs) {
+					lhs := ast.Unparen(x.Lhs[j])
+					if id, ok := lhs.(*ast.Ident); ok {
+						if id.Name == "_" {
+							p.Reportf(producer.Pos(),
+								"%s discarded at creation; a fault handle must be armed (scheduleWindow), returned, or stored — //mars:lifecycle <why> if intentional",
+								handleDesc(info, producer))
+							return
+						}
+						holder = info.ObjectOf(id)
+					} else {
+						return // stored into a field/element: escrowed
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for j, v := range x.Values {
+				if containsNode(v, producer) && j < len(x.Names) {
+					holder = info.ObjectOf(x.Names[j])
+				}
+			}
+		}
+		break
+	}
+	if holder == nil {
+		// Producer in an expression statement: value dropped on the floor.
+		p.Reportf(producer.Pos(),
+			"%s dropped without escrow; arm it via the scheduler, return it, or store it — //mars:lifecycle <why> if intentional",
+			handleDesc(info, producer))
+		return
+	}
+	// The handle landed in a local variable: search the innermost
+	// enclosing case clause (or the function body) for an escrowing use.
+	scope := escrowScope(stack)
+	if scope == nil || escrowUse(pkg, scope, holder, producer) {
+		return
+	}
+	p.Reportf(producer.Pos(),
+		"%s assigned to %s but never armed, returned, or stored in this branch; fault windows must reach the scheduler — //mars:lifecycle <why> if intentional",
+		handleDesc(info, producer), holder.Name())
+}
+
+// handleDesc names the produced handle type for messages.
+func handleDesc(info *types.Info, producer ast.Expr) string {
+	t := info.TypeOf(producer)
+	if t != nil {
+		if ptr, ok := t.(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok {
+				return "*" + named.Obj().Name() + " handle"
+			}
+		}
+	}
+	return "handle"
+}
+
+// escrowScope picks the innermost CaseClause or function body enclosing
+// the producer.
+func escrowScope(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch x := stack[i].(type) {
+		case *ast.CaseClause, *ast.CommClause:
+			return x
+		case *ast.FuncDecl:
+			return x.Body
+		case *ast.FuncLit:
+			return x.Body
+		}
+	}
+	return nil
+}
+
+// escrowUse reports whether the holder variable escapes the scope through
+// a call argument, return, store, or reassignment target after creation.
+func escrowUse(pkg *Package, scope ast.Node, holder types.Object, producer ast.Expr) bool {
+	info := pkg.Info
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if usesObj(info, arg, holder) {
+					found = true
+				}
+			}
+			// Method call on the handle itself (h.Apply()) counts as a
+			// use-for-arming; the caller-package rule polices legality.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && usesObj(info, sel.X, holder) {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if usesObj(info, res, holder) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if containsNode(rhs, producer) {
+					continue // the producing assignment itself
+				}
+				if usesObj(info, rhs, holder) {
+					found = true // copied onward (stored or re-escrowed)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if usesObj(info, el, holder) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(info, x.Value, holder) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObj reports whether expr references obj (not through a blank walk of
+// the producing expression itself).
+func usesObj(info *types.Info, expr ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// containsNode reports whether target lies within root's subtree.
+func containsNode(root, target ast.Node) bool {
+	if root == nil || target == nil {
+		return false
+	}
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+// checkApplyRevertCallers flags Apply/Revert calls on a handle type from
+// outside its declaring package: windows must be armed through the
+// injector's scheduler, which owns the double-apply/double-revert guard
+// context.
+func checkApplyRevertCallers(p *ModulePass, handles []*types.Named) {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Apply" && sel.Sel.Name != "Revert") {
+					return true
+				}
+				recv := pkg.Info.TypeOf(sel.X)
+				if recv == nil {
+					return true
+				}
+				h := isHandlePtr(recv, handles)
+				if h == nil {
+					if named, ok := recv.(*types.Named); ok {
+						h = isHandlePtr(types.NewPointer(named), handles)
+					}
+				}
+				if h == nil || h.Obj().Pkg() == nil {
+					return true
+				}
+				if pkg.Types.Path() == h.Obj().Pkg().Path() {
+					return true
+				}
+				if !p.Suppressed(call.Pos(), "lifecycle") {
+					p.Reportf(call.Pos(),
+						"%s.%s called outside package %s; arm fault windows through the injector's scheduler so apply/revert stay paired — //mars:lifecycle <why> if this caller owns the window",
+						h.Obj().Name(), sel.Sel.Name, h.Obj().Pkg().Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// poolPair is one acquireX/releaseX function pair found in a package.
+type poolPair struct {
+	acquire *CGNode
+	release *CGNode
+	noun    string
+}
+
+// checkPoolPairing: every function calling acquireX must transitively
+// reach releaseX, or document the ownership hand-off.
+func checkPoolPairing(p *ModulePass) {
+	g := p.Graph()
+	// Index declared functions and methods per (package, receiver, name):
+	// the pools are methods on the simulator/program, and the pairing is
+	// within one receiver's method set.
+	type key struct {
+		pkg  *Package
+		recv string
+		name string
+	}
+	recvName := func(n *CGNode) string {
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return ""
+		}
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return ""
+	}
+	byName := make(map[key]*CGNode)
+	for _, n := range g.Nodes {
+		if n.Decl != nil && n.Fn != nil {
+			byName[key{n.Pkg, recvName(n), n.Fn.Name()}] = n
+		}
+	}
+	var pairs []poolPair
+	for _, n := range g.Nodes {
+		if n.Decl == nil || n.Fn == nil {
+			continue
+		}
+		noun, ok := strings.CutPrefix(n.Fn.Name(), "acquire")
+		if !ok || noun == "" {
+			continue
+		}
+		if r, first := utf8.DecodeRuneInString(noun); first == 0 || !unicode.IsUpper(r) {
+			continue
+		}
+		if rel := byName[key{n.Pkg, recvName(n), "release" + noun}]; rel != nil {
+			pairs = append(pairs, poolPair{acquire: n, release: rel, noun: noun})
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	for _, pair := range pairs {
+		for _, caller := range g.Nodes {
+			if caller == pair.acquire || caller == pair.release || caller.Body == nil {
+				continue
+			}
+			site := callSite(caller, pair.acquire)
+			if !site.IsValid() {
+				continue
+			}
+			reach := g.Reachable([]*CGNode{caller}, nil)
+			if reach.Has(pair.release) {
+				continue
+			}
+			if !p.Suppressed(site, "lifecycle") {
+				p.Reportf(site,
+					"%s acquires a pooled %s but no path from it reaches %s; release on every path or document the ownership transfer with //mars:lifecycle <where it is released>",
+					caller.ShortName(), pair.noun, pair.release.ShortName())
+			}
+		}
+	}
+}
+
+// callSite returns the first static call site of callee within caller.
+func callSite(caller, callee *CGNode) token.Pos {
+	for _, e := range caller.Out {
+		if e.Kind == EdgeStatic && e.To == callee {
+			return e.Site
+		}
+	}
+	return token.NoPos
+}

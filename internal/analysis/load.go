@@ -26,35 +26,53 @@ type Package struct {
 	Info  *types.Info
 
 	// directives indexes //mars:<name> comments: filename -> line -> names.
-	directives map[string]map[int][]directive
+	directives map[string]map[int][]*directive
 }
 
-// directive is one parsed //mars:<name> [reason] comment.
+// directive is one parsed //mars:<name> [reason] comment. used is set when
+// a finding (or an analyzer's explicit Suppressed check) consults it, so
+// the driver can flag suppressions that no longer excuse anything.
 type directive struct {
 	name   string
 	reason string
+	pos    token.Position
+	used   bool
 }
 
 // hasDirective reports whether file:line (or the line directly above)
-// carries the named directive. Checking the preceding line lets a
-// standalone comment annotate the statement below it.
+// carries the named directive, marking any match as used. Checking the
+// preceding line lets a standalone comment annotate the statement below.
 func (p *Package) hasDirective(file string, line int, name string) bool {
 	byLine := p.directives[file]
 	if byLine == nil {
 		return false
 	}
+	found := false
 	for _, l := range [2]int{line, line - 1} {
 		for _, d := range byLine[l] {
 			if d.name == name {
-				return true
+				d.used = true
+				found = true
 			}
 		}
 	}
-	return false
+	return found
+}
+
+// resetDirectiveUse clears the used marks, making Run idempotent when the
+// same loaded packages are linted more than once.
+func (p *Package) resetDirectiveUse() {
+	for _, byLine := range p.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				d.used = false
+			}
+		}
+	}
 }
 
 // collectDirectives indexes every //mars: comment of a parsed file.
-func collectDirectives(fset *token.FileSet, f *ast.File, into map[string]map[int][]directive) {
+func collectDirectives(fset *token.FileSet, f *ast.File, into map[string]map[int][]*directive) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			rest, ok := strings.CutPrefix(c.Text, "//mars:")
@@ -65,10 +83,14 @@ func collectDirectives(fset *token.FileSet, f *ast.File, into map[string]map[int
 			pos := fset.Position(c.Pos())
 			byLine := into[pos.Filename]
 			if byLine == nil {
-				byLine = make(map[int][]directive)
+				byLine = make(map[int][]*directive)
 				into[pos.Filename] = byLine
 			}
-			byLine[pos.Line] = append(byLine[pos.Line], directive{name: name, reason: strings.TrimSpace(reason)})
+			byLine[pos.Line] = append(byLine[pos.Line], &directive{
+				name:   name,
+				reason: strings.TrimSpace(reason),
+				pos:    pos,
+			})
 		}
 	}
 }
@@ -233,7 +255,7 @@ func check(fset *token.FileSet, path, dir string, files []*ast.File, imp types.I
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
-		directives: make(map[string]map[int][]directive),
+		directives: make(map[string]map[int][]*directive),
 	}
 	for _, f := range files {
 		collectDirectives(fset, f, pkg.directives)

@@ -36,33 +36,74 @@ func runMapiter(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
-			if !ok || !isMapRange(p, rs) {
+			if !ok || !isMapRange(p.Pkg, rs) {
 				return true
 			}
 			// A directive on the range line suppresses the whole loop.
 			if p.Suppressed(rs.Pos(), "mapiter-ok") {
 				return true
 			}
-			checkMapRangeBody(p, rs)
+			mapRangeHazards(p.Pkg, rs, p.Reportf)
 			return true
 		})
 	}
 }
 
-func isMapRange(p *Pass, rs *ast.RangeStmt) bool {
-	t := p.TypeOf(rs.X)
-	if t == nil {
-		return false
-	}
-	_, ok := t.Underlying().(*types.Map)
+func isMapRange(pkg *Package, rs *ast.RangeStmt) bool {
+	_, ok := mapCore(pkg.Info.TypeOf(rs.X))
 	return ok
 }
 
-// checkMapRangeBody walks one map-range body. Nested map-range statements
-// are skipped: they are checked on their own, and one report per hazard is
-// enough.
-func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
-	rangedRoot := rootIdentObj(p, rs.X)
+// mapCore returns the map type underlying t, seeing through type
+// parameters whose constraint type set holds only maps with one common
+// underlying type (the det.Keys `M ~map[K]V` shape); Underlying alone
+// would return the constraint interface and miss generic map ranges.
+func mapCore(t types.Type) (*types.Map, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if m, ok := t.Underlying().(*types.Map); ok {
+		return m, true
+	}
+	tp, ok := types.Unalias(t).(*types.TypeParam)
+	if !ok {
+		return nil, false
+	}
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return nil, false
+	}
+	var core *types.Map
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		terms := []types.Type{iface.EmbeddedType(i)}
+		if u, ok := terms[0].(*types.Union); ok {
+			terms = terms[:0]
+			for j := 0; j < u.Len(); j++ {
+				terms = append(terms, u.Term(j).Type())
+			}
+		}
+		for _, term := range terms {
+			m, ok := term.Underlying().(*types.Map)
+			if !ok {
+				return nil, false
+			}
+			if core == nil {
+				core = m
+			} else if !types.Identical(core, m) {
+				return nil, false
+			}
+		}
+	}
+	return core, core != nil
+}
+
+// mapRangeHazards walks one map-range body and reports each
+// order-sensitive hazard through report. Nested map-range statements are
+// skipped: they are checked on their own, and one report per hazard is
+// enough. Both mapiter (locally, everywhere) and detflow (transitively,
+// inside the deterministic core) consume this.
+func mapRangeHazards(pkg *Package, rs *ast.RangeStmt, report func(pos token.Pos, format string, args ...any)) {
+	rangedRoot := rootIdentObj(pkg, rs.X)
 	var walk func(n ast.Node, inFuncLit bool)
 	walk = func(n ast.Node, inFuncLit bool) {
 		if n == nil {
@@ -70,7 +111,7 @@ func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
 		}
 		switch x := n.(type) {
 		case *ast.RangeStmt:
-			if x != rs && isMapRange(p, x) {
+			if x != rs && isMapRange(pkg, x) {
 				return // analyzed independently
 			}
 		case *ast.FuncLit:
@@ -78,28 +119,28 @@ func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
 			return
 		case *ast.ReturnStmt:
 			if !inFuncLit {
-				p.Reportf(x.Pos(),
+				report(x.Pos(),
 					"return inside `range` over map %s yields an arbitrary element; iterate det.Keys or collect-then-sort",
-					exprString(p.Pkg.Fset, rs.X))
+					exprString(pkg.Fset, rs.X))
 			}
 		case *ast.AssignStmt:
 			if x.Tok != token.DEFINE {
 				for _, lhs := range x.Lhs {
-					checkWrite(p, rs, rangedRoot, lhs)
+					checkWrite(pkg, rs, rangedRoot, lhs, report)
 				}
 			}
 		case *ast.IncDecStmt:
-			checkWrite(p, rs, rangedRoot, x.X)
+			checkWrite(pkg, rs, rangedRoot, x.X, report)
 		case *ast.CallExpr:
-			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && isBuiltinObj(p.ObjectOf(id)) {
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && isBuiltinObj(pkg.Info.ObjectOf(id)) {
 				// builtin delete: flag deletes from maps other than the
 				// ranged one (deleting while ranging the same map is a
 				// supported, order-independent idiom).
 				if len(x.Args) == 2 {
-					if obj := rootIdentObj(p, x.Args[0]); obj != nil && obj != rangedRoot && declaredOutside(obj, rs) {
-						p.Reportf(x.Pos(),
+					if obj := rootIdentObj(pkg, x.Args[0]); obj != nil && obj != rangedRoot && declaredOutside(obj, rs) {
+						report(x.Pos(),
 							"delete from %s inside `range` over map %s depends on iteration order",
-							exprString(p.Pkg.Fset, x.Args[0]), exprString(p.Pkg.Fset, rs.X))
+							exprString(pkg.Fset, x.Args[0]), exprString(pkg.Fset, rs.X))
 					}
 				}
 			}
@@ -110,7 +151,7 @@ func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
 }
 
 // checkWrite reports a write whose target lives outside the range loop.
-func checkWrite(p *Pass, rs *ast.RangeStmt, rangedRoot types.Object, lhs ast.Expr) {
+func checkWrite(pkg *Package, rs *ast.RangeStmt, rangedRoot types.Object, lhs ast.Expr, report func(pos token.Pos, format string, args ...any)) {
 	lhs = ast.Unparen(lhs)
 	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
 		return
@@ -118,17 +159,17 @@ func checkWrite(p *Pass, rs *ast.RangeStmt, rangedRoot types.Object, lhs ast.Exp
 	// Writes into the ranged map itself land in an unordered container;
 	// the result is independent of visit order.
 	if idx, ok := lhs.(*ast.IndexExpr); ok {
-		if obj := rootIdentObj(p, idx.X); obj != nil && obj == rangedRoot {
+		if obj := rootIdentObj(pkg, idx.X); obj != nil && obj == rangedRoot {
 			return
 		}
 	}
-	obj := rootIdentObj(p, lhs)
+	obj := rootIdentObj(pkg, lhs)
 	if obj == nil || !declaredOutside(obj, rs) {
 		return
 	}
-	p.Reportf(lhs.Pos(),
+	report(lhs.Pos(),
 		"write to %s inside `range` over map %s depends on iteration order; iterate det.Keys/det.KeysFunc or annotate //mars:mapiter-ok with why order cannot matter",
-		exprString(p.Pkg.Fset, lhs), exprString(p.Pkg.Fset, rs.X))
+		exprString(pkg.Fset, lhs), exprString(pkg.Fset, rs.X))
 }
 
 // isBuiltinObj reports whether obj is a predeclared builtin function.
@@ -138,12 +179,12 @@ func isBuiltinObj(obj types.Object) bool {
 }
 
 // rootIdentObj resolves the base object of an lvalue-ish expression.
-func rootIdentObj(p *Pass, e ast.Expr) types.Object {
+func rootIdentObj(pkg *Package, e ast.Expr) types.Object {
 	id := rootIdent(e)
 	if id == nil {
 		return nil
 	}
-	return p.ObjectOf(id)
+	return pkg.Info.ObjectOf(id)
 }
 
 // declaredOutside reports whether obj's declaration lies outside the range

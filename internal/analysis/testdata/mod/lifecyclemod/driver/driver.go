@@ -1,0 +1,23 @@
+// Package driver calls into window from outside: direct Apply/Revert
+// calls are flagged, going through the scheduler is not.
+package driver
+
+import "lifecyclemod/window"
+
+func good() {
+	h := window.New()
+	window.Schedule(h)
+}
+
+func bad() {
+	h := window.New()
+	h.Apply()  // want `Handle\.Apply called outside package window`
+	h.Revert() // want `Handle\.Revert called outside package window`
+}
+
+func excused() {
+	h := window.New()
+	//mars:lifecycle this driver owns the window for the teardown test
+	h.Apply()
+	h.Revert() //mars:lifecycle teardown owner, see above
+}

@@ -1,0 +1,19 @@
+// Package window declares the handle type for the cross-package
+// apply/revert corpus: only this package may call Apply/Revert directly.
+package window
+
+// Handle is a guarded fault window.
+type Handle struct{ armed bool }
+
+func (h *Handle) Apply()  { h.armed = true }
+func (h *Handle) Revert() { h.armed = false }
+
+// New produces a handle, escrowed to the caller by the return.
+func New() *Handle { return &Handle{} }
+
+// Schedule arms the handle from inside the owning package, which holds
+// the double-apply guard context.
+func Schedule(h *Handle) {
+	h.Apply()
+	h.Revert()
+}

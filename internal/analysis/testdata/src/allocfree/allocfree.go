@@ -1,0 +1,78 @@
+// Golden corpus for the allocfree analyzer: allocation sites are flagged
+// only when statically reachable from a //mars:root hot-path entry point,
+// and a //mars:alloc suppression must cite a registered AllocsPerRun
+// guard test to be accepted.
+package allocfree
+
+import "fmt"
+
+type item struct{ v int }
+
+//mars:root
+func Run() {
+	hot(3)
+	_ = asAny()
+	cited()
+	badCite()
+	cold := func() { _ = make([]int, 8) } // want `closure allocation`
+	cold()
+	helper(grow)
+}
+
+func hot(n int) {
+	p := &item{v: n} // want `escaping composite literal`
+	_ = p
+	s := []int{1, 2, 3}       // want `slice/map literal allocation`
+	s = append(s, n)          // want `append \(may grow the backing array\)`
+	m := make(map[int]int, 4) // want `make allocation`
+	_ = m
+	q := new(item) // want `new allocation`
+	_ = q
+	fmt.Println() // want `fmt call`
+	box(n)
+	if n > 99 {
+		// panic arguments are a failing path; their allocations are exempt.
+		panic(fmt.Sprintf("bad %d", n))
+	}
+}
+
+func box(v int) {
+	sink(v)      // want `interface boxing`
+	p := &item{} // want `escaping composite literal`
+	sink(p)      // pointers into interface slots do not box
+}
+
+func sink(any) {}
+
+// asAny boxes its concrete struct result into the interface return slot.
+func asAny() any {
+	return item{v: 2} // want `interface boxing`
+}
+
+var buf []int
+
+// cited carries the amortization protocol: the suppression names the
+// dynamic AllocsPerRun guard that pins the site.
+func cited() {
+	buf = append(buf, 1) //mars:alloc TestNetsimStepAllocs capacity is retained across cycles
+}
+
+// badCite cites a guard that is not in the registry, which is itself a
+// finding rather than an accepted suppression.
+func badCite() {
+	buf = append(buf, 2) //mars:alloc TestBogusAllocs no such guard exists // want `//mars:alloc must cite the AllocsPerRun guard test`
+}
+
+func helper(fn func()) { fn() }
+
+// grow is only reachable through a dynamic edge (the fn() call above),
+// which allocfree does not follow: the typed-event agenda keeps closures
+// off the packet path, so dynamic targets are cold by construction.
+func grow() {
+	_ = make([]int, 4)
+}
+
+// unreachable is not called from the root at all.
+func unreachable() {
+	_ = make([]int, 1)
+}

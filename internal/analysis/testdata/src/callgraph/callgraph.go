@@ -1,0 +1,40 @@
+// Corpus for the call-graph engine's unit tests: static calls, method
+// values, conservative interface dispatch, and function-typed fields.
+// TestCallGraph pins which nodes are reachable from Root and through
+// which edge kinds; there are no // want expectations here.
+package callgraph
+
+type greeter interface{ greet() }
+
+type english struct{}
+
+func (english) greet() { helperEnglish() }
+
+func helperEnglish() {}
+
+type french struct{}
+
+func (french) greet() { helperFrench() }
+
+func helperFrench() {}
+
+type holder struct{ fn func(int) }
+
+func fieldTarget(int) {}
+
+// methodValueUser takes a method value; the later mv() call is a dynamic
+// edge back to english.greet.
+func methodValueUser() {
+	e := english{}
+	mv := e.greet
+	mv()
+}
+
+func Root(g greeter) {
+	g.greet()
+	h := holder{fn: fieldTarget}
+	h.fn(1)
+	methodValueUser()
+}
+
+func isolated() {}

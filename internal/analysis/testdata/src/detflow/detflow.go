@@ -1,0 +1,80 @@
+// Golden corpus for the detflow analyzer: nondeterminism sinks are
+// flagged only when transitively reachable from a //mars:root entry
+// point, and every finding names the concrete call chain.
+package detflow
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+//mars:root
+func Run() {
+	step()
+	spawn()
+	iterate(map[string]int{"a": 1})
+	suppressedSinks()
+	viaIface(impl{})
+	cb = helper
+	cb()
+}
+
+func step() { deep() }
+
+func deep() {
+	_ = time.Now() // want `time\.Now reachable from the deterministic core via detflow\.Run -> detflow\.step -> detflow\.deep`
+	_ = rand.Int() // want `rand\.Int reachable from the deterministic core`
+}
+
+func spawn() {
+	go work() // want `goroutine spawned inside the deterministic core \(via detflow\.Run -> detflow\.spawn\)`
+	//mars:sync results land in pre-indexed slots; completion order cannot show
+	go work()
+}
+
+func work() {}
+
+func iterate(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { //mars:mapiter-ok keys are fully sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	worst := ""
+	for k := range m {
+		if k > worst {
+			worst = k // want `order-sensitive map iteration reachable from the deterministic core via detflow\.Run -> detflow\.iterate`
+		}
+	}
+	_ = worst
+}
+
+func suppressedSinks() {
+	_ = time.Now() //mars:wallclock wall-time benchmarking only
+}
+
+type doer interface{ do() }
+
+type impl struct{}
+
+// Interface dispatch is resolved conservatively to every implementer, so
+// the sink inside the method body is reached through the call on doer.
+func (impl) do() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reachable from the deterministic core via detflow\.Run -> detflow\.viaIface -> detflow\.impl\.do`
+}
+
+func viaIface(d doer) { d.do() }
+
+// cb makes helper address-taken: the cb() call in Run reaches it through
+// a dynamic edge.
+var cb func()
+
+func helper() {
+	_ = time.Now() // want `time\.Now reachable from the deterministic core via detflow\.Run -> detflow\.helper`
+}
+
+// unreachable is never called from the root: its sink stays unflagged.
+func unreachable() {
+	_ = time.Now()
+}

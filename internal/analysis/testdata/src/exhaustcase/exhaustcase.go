@@ -1,0 +1,75 @@
+// Golden corpus for the exhaustcase analyzer: switches over enum-like
+// named constant sets must list every value (a default clause does not
+// excuse omissions) or carry //mars:partial with the reason.
+package exhaustcase
+
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	// KindOther aliases KindB's value; coverage dedupes by value.
+	KindOther = KindB
+)
+
+// full lists every distinct value, so the alias does not count as
+// missing.
+func full(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB, KindC:
+		return 2
+	}
+	return 0
+}
+
+func missing(k Kind) int {
+	switch k { // want `switch on Kind misses KindC`
+	case KindA, KindB:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func annotated(k Kind) int {
+	//mars:partial KindC is resolved by the caller before dispatch
+	switch k {
+	case KindA, KindB:
+		return 1
+	}
+	return 0
+}
+
+type Mode string
+
+const (
+	ModeFast Mode = "fast"
+	ModeSlow Mode = "slow"
+)
+
+func modes(m Mode) bool {
+	switch m { // want `switch on Mode misses ModeSlow`
+	case ModeFast:
+		return true
+	}
+	return false
+}
+
+// notEnum switches on a plain int: no constant universe, no finding.
+func notEnum(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// stale: a //mars:partial that suppresses nothing is itself reported,
+// since its only consumer (exhaustcase) ran.
+func stale() int {
+	//mars:partial nothing here needs this // want `stale directive //mars:partial suppresses nothing`
+	return 0
+}

@@ -1,0 +1,109 @@
+// Golden corpus for the lifecycle analyzer: fault-handle escrow (a
+// produced Apply/Revert handle must be armed, returned, or stored within
+// its own branch) and pool acquire/release pairing (every acquirer must
+// reach the matching release or document the hand-off).
+package lifecycle
+
+// Window is handle-shaped: it has both Apply and Revert.
+type Window struct{ armed bool }
+
+func (w *Window) Apply()  { w.armed = true }
+func (w *Window) Revert() { w.armed = false }
+
+// newWindow's own producer is escrowed by the return.
+func newWindow() *Window { return &Window{} }
+
+func schedule(w *Window) {}
+
+func goodEscrow() {
+	w := newWindow()
+	schedule(w)
+}
+
+func directEscrow() {
+	schedule(newWindow())
+}
+
+func badEscrow() {
+	w := newWindow() // want `\*Window handle assigned to w but never armed, returned, or stored in this branch`
+	w.armed = false
+}
+
+func dropped() {
+	newWindow() // want `\*Window handle dropped without escrow`
+}
+
+func discarded() {
+	_ = newWindow() // want `\*Window handle discarded at creation`
+}
+
+// branches is judged branch by branch: each case must escrow its own
+// handle.
+func branches(kind int) {
+	var w *Window
+	switch kind {
+	case 0:
+		w = newWindow()
+		schedule(w)
+	case 1:
+		w = newWindow() // want `\*Window handle assigned to w but never armed`
+		w.armed = false
+	case 2:
+		//mars:lifecycle the window is pre-armed at creation; nothing to schedule
+		w = newWindow()
+	}
+	_ = w
+}
+
+// armInPackage may call Apply directly: the declaring package owns the
+// double-apply guard context.
+func armInPackage(w *Window) {
+	w.Apply()
+}
+
+// ---- pool pairing ----
+
+type thing struct{ used bool }
+
+type pool struct{ free []*thing }
+
+func (p *pool) acquireThing() *thing {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	return &thing{}
+}
+
+func (p *pool) releaseThing(t *thing) {
+	t.used = false
+	p.free = append(p.free, t)
+}
+
+func pairedUse(p *pool) {
+	t := p.acquireThing()
+	t.used = true
+	p.releaseThing(t)
+}
+
+// pairedDeep releases through a callee, which the call graph sees.
+func pairedDeep(p *pool) {
+	t := p.acquireThing()
+	finish(p, t)
+}
+
+func finish(p *pool, t *thing) { p.releaseThing(t) }
+
+func leakyUse(p *pool) {
+	t := p.acquireThing() // want `lifecycle\.leakyUse acquires a pooled Thing but no path from it reaches lifecycle\.pool\.releaseThing`
+	t.used = true
+}
+
+var parked []*thing
+
+func handoff(p *pool) {
+	//mars:lifecycle ownership transfers to parked; the drain loop releases
+	t := p.acquireThing()
+	parked = append(parked, t)
+}

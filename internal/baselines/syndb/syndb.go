@@ -136,6 +136,8 @@ func (s *System) Localize(q Query) []Culprit {
 		return s.queryProcessRate()
 	case QueryDelay:
 		return s.queryDelay()
+	case QueryDrop:
+		return s.queryDrop()
 	default:
 		return s.queryDrop()
 	}

@@ -375,6 +375,7 @@ func (c *Controller) armTimeout(stillPending func() bool, fn func()) {
 
 // deliverToSwitch handles controller → switch messages at the switch.
 func (c *Controller) deliverToSwitch(m ctrlchan.Message) {
+	//mars:partial only controller->switch request kinds arrive here; responses, acks, and notifications travel the other direction and are handled by deliverToController
 	switch m.Kind {
 	case ctrlchan.KindCollectRequest:
 		recs := c.Prog.RTSnapshot(m.Switch)
@@ -413,6 +414,7 @@ func (c *Controller) deliverToSwitch(m ctrlchan.Message) {
 
 // deliverToController dispatches switch → controller messages.
 func (c *Controller) deliverToController(m ctrlchan.Message) {
+	//mars:partial only switch->controller response kinds arrive here; requests and pushes travel the other direction and are handled by deliverToSwitch
 	switch m.Kind {
 	case ctrlchan.KindNotification:
 		c.onNotification(m)

@@ -80,6 +80,8 @@ func (k Kind) String() string {
 		return "refresh-resp"
 	case KindThresholdPush:
 		return "threshold-push"
+	case KindThresholdAck:
+		return "threshold-ack"
 	default:
 		return "threshold-ack"
 	}

@@ -108,11 +108,13 @@ func (p *Program) acquireMeta() *PacketMeta {
 		p.metaFree = p.metaFree[:n-1]
 		return m
 	}
+	//mars:alloc TestProgramSteadyStateAllocs cold-start pool refill only; steady state hits the free list
 	return &PacketMeta{}
 }
 
 func (p *Program) releaseMeta(m *PacketMeta) {
 	*m = PacketMeta{}
+	//mars:alloc TestProgramSteadyStateAllocs the free list keeps its capacity; steady state recycles without growing
 	p.metaFree = append(p.metaFree, m)
 }
 

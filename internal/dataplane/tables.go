@@ -135,6 +135,7 @@ func (et *EgressTable) Record(src topology.NodeID, path pathid.ID, epoch uint32,
 	k := etKey{src, path}
 	c := et.perPath[k]
 	if c == nil {
+		//mars:alloc TestSinkRecordAllocs one counter per (src,path) on first touch only; steady state is a map hit
 		c = &epochCounter{}
 		et.perPath[k] = c
 	}

@@ -121,6 +121,8 @@ func RunFig2(seed int64) *Fig2Result {
 					core = append(core, util)
 				case topology.LayerAggregation:
 					agg = append(agg, util)
+				case topology.LayerEdge, topology.LayerHost, topology.LayerUnknown:
+					edge = append(edge, util)
 				default:
 					edge = append(edge, util)
 				}

@@ -251,6 +251,7 @@ func rankWhere(ranked []rca.Culprit, gt faults.GroundTruth, match func(rca.Culpr
 // located only by a port-level culprit naming both endpoints (in either
 // orientation); node-scoped roots fall back to switch containment.
 func grayLinkMatch(c rca.Culprit, gt faults.GroundTruth) bool {
+	//mars:partial only link-scoped kinds need the strict both-endpoints rule; every node-scoped kind intentionally falls back to switch containment via graySwitchMatch
 	switch gt.Kind {
 	case faults.SilentDrop, faults.LinkFlap, faults.LinkDown, faults.UplinkDegrade:
 		if c.Level != rca.LevelPort || len(c.Location) != 2 {
@@ -280,6 +281,7 @@ func graySwitchMatch(c rca.Culprit, gt faults.GroundTruth) bool {
 // cannot emit the gray classes at all — its cause accuracy on those rows
 // is zero by construction, which is the point of the comparison.
 func grayCauseWant(k faults.Kind) rca.Cause {
+	//mars:partial every loss-class kind (SilentDrop, LinkDown, Drop, ...) deliberately maps to CauseDrop through the default: loss is loss
 	switch k {
 	case faults.LinkFlap:
 		return rca.CauseLinkFlap

@@ -48,6 +48,8 @@ func (s SystemKind) String() string {
 		return "SpiderMon"
 	case SysIntSight:
 		return "IntSight"
+	case SysSyNDB:
+		return "SyNDB"
 	default:
 		return "SyNDB"
 	}
@@ -239,6 +241,7 @@ func baselineMatches(switches []topology.NodeID, flowID dataplane.FlowID, hasFlo
 
 // syndbQuery maps an injected fault to the expert query SyNDB is given.
 func syndbQuery(k faults.Kind) syndb.Query {
+	//mars:partial every loss-class fault kind shares the expert drop query through the default; only the four specialized queries need naming
 	switch k {
 	case faults.MicroBurst:
 		return syndb.QueryMicroBurst

@@ -79,6 +79,8 @@ func newSystem(kind SystemKind) SystemUnderTest {
 		return &spiderMonSystem{}
 	case SysIntSight:
 		return &intSightSystem{}
+	case SysSyNDB:
+		return &synDBSystem{}
 	default:
 		return &synDBSystem{}
 	}

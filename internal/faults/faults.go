@@ -189,9 +189,10 @@ func (g GroundTruth) String() string {
 		return fmt.Sprintf("%v s%d->s%d port %d [%v,%v]", g.Kind, g.Switch, g.Peer, g.Port, g.Start, g.End)
 	case CtrlChanDegrade:
 		return fmt.Sprintf("%v loss=%.0f%% [%v,%v]", g.Kind, 100*g.CtrlLoss, g.Start, g.End)
-	default:
-		return fmt.Sprintf("%v s%d [%v,%v]", g.Kind, g.Switch, g.Start, g.End)
+	case ECMPImbalance, Delay, SwitchReboot:
+		// Switch-scoped kinds share the rendering below.
 	}
+	return fmt.Sprintf("%v s%d [%v,%v]", g.Kind, g.Switch, g.Start, g.End)
 }
 
 // Injector plants faults into a simulation over a fat-tree.
@@ -269,6 +270,7 @@ func (in *Injector) plan(kind Kind, start, dur netsim.Time, rng *rand.Rand, ep *
 		workload.Burst(in.Sim, src, dst, key, pps, start, dur, 1000)
 		// The burst traffic is already on the agenda; there is nothing to
 		// apply later and nothing a revert could unsend.
+		//mars:lifecycle the pre-armed handle exists only so GroundTruth.Handle stays uniform for revert bookkeeping; the shared epilogue below stores it
 		h = &Handle{kind: kind, applied: true}
 
 	case ECMPImbalance:

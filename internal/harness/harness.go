@@ -126,6 +126,7 @@ func Run[T any](cfg Config, trials []Trial, fn func(Trial) T) ([]T, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//mars:sync workers drain one shared index channel and write into pre-indexed result slots; output is byte-identical at any worker count (the tests diff workers=1 against workers=8)
 		go func() {
 			defer wg.Done()
 			for i := range idx {

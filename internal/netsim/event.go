@@ -67,6 +67,7 @@ func (a *agenda) before(i, j int) bool {
 func (a *agenda) push(e event) {
 	a.seq++
 	e.seq = a.seq
+	//mars:alloc TestNetsimStepAllocs the agenda array keeps its capacity across pops; steady state re-slices in place
 	a.h = append(a.h, e)
 	// Sift up.
 	i := len(a.h) - 1

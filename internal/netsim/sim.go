@@ -299,6 +299,7 @@ func (s *Simulator) releasePacket(pkt *Packet) {
 		HopQueueDepths: pkt.HopQueueDepths[:0],
 		HopArrivals:    pkt.HopArrivals[:0],
 	}
+	//mars:alloc TestNetsimStepAllocs the free list keeps its capacity; steady state recycles without growing
 	s.free = append(s.free, pkt)
 }
 
@@ -314,6 +315,7 @@ func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size in
 		panic("netsim: packet size must be positive")
 	}
 	s.nextPkt++
+	//mars:lifecycle ownership transfers to the event agenda with the packet; deliver/drop release it at end of life
 	pkt := s.acquirePacket()
 	pkt.ID = s.nextPkt
 	pkt.Src = src
@@ -370,8 +372,8 @@ func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, 
 		s.drop(sw, inPort, pkt, DropSwitchDown)
 		return
 	}
-	pkt.TruePath = append(pkt.TruePath, sw)
-	pkt.HopArrivals = append(pkt.HopArrivals, s.now)
+	pkt.TruePath = append(pkt.TruePath, sw)          //mars:alloc TestNetsimStepAllocs per-packet slices keep their capacity across pool recycling
+	pkt.HopArrivals = append(pkt.HopArrivals, s.now) //mars:alloc TestNetsimStepAllocs per-packet slices keep their capacity across pool recycling
 	s.hooks.OnSwitchArrival(s, sw, inPort, pkt)
 
 	outPort, ok := s.Router.Route(sw, pkt)
@@ -385,6 +387,7 @@ func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, 
 	if pr.busy {
 		qlen++ // count the in-flight packet as queue occupancy
 	}
+	//mars:alloc TestNetsimStepAllocs per-packet slices keep their capacity across pool recycling
 	pkt.HopQueueDepths = append(pkt.HopQueueDepths, int32(qlen))
 
 	if act := s.hooks.OnForward(s, sw, inPort, outPort, pkt, qlen); act == ActionDrop {
@@ -423,6 +426,7 @@ func (s *Simulator) enqueue(sw topology.NodeID, outPort topology.PortID, pkt *Pa
 		pr.queue = pr.queue[:n]
 		pr.qhead = 0
 	}
+	//mars:alloc TestNetsimStepAllocs the drained prefix is reclaimed above, so the queue array's capacity is reused
 	pr.queue = append(pr.queue, pkt)
 	pr.enqueuedBytes += int64(pkt.WireSize())
 	if !pr.busy {

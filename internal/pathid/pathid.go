@@ -129,7 +129,7 @@ func Step(cfg Config, cur ID, sw topology.NodeID, in, out uint16, control uint8)
 		crc = crc16Update(crc, byte(out))
 		crc = crc16Update(crc, control)
 		h = ID(crc)
-	default:
+	case CRC32:
 		var buf [13]byte
 		buf[0] = byte(cur >> 24)
 		buf[1] = byte(cur >> 16)

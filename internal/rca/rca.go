@@ -54,6 +54,7 @@ const (
 )
 
 func (c Cause) String() string {
+	//mars:partial CauseExtensionBase is the sentinel floor for extension causes, not a concrete cause; extension causes render through the default
 	switch c {
 	case CauseMicroBurst:
 		return "micro-burst"
@@ -94,8 +95,10 @@ func (l Level) String() string {
 		return "flow"
 	case LevelSwitch:
 		return "switch"
-	default:
+	case LevelPort:
 		return "port"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
 	}
 }
 

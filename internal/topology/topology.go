@@ -68,6 +68,8 @@ func (l Layer) String() string {
 		return "edge"
 	case LayerHost:
 		return "host"
+	case LayerUnknown:
+		return "unknown"
 	default:
 		return "unknown"
 	}

@@ -71,6 +71,8 @@ func (g GapDist) sample(r *rand.Rand, mean float64) float64 {
 		const sigma = 1.0
 		mu := math.Log(mean) - sigma*sigma/2
 		return math.Exp(mu + sigma*r.NormFloat64())
+	case GapConstant:
+		return mean
 	default:
 		return mean
 	}
