@@ -44,6 +44,7 @@ import (
 
 	"mars/internal/experiments"
 	"mars/internal/harness"
+	"mars/internal/netsim"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 		seed       = flag.Int64("seed", 1000, "base random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "harness worker pool size for trial-based experiments")
 		progress   = flag.Bool("progress", false, "stream per-trial progress to stderr")
+		arity      = flag.Int("k", 16, "fat-tree arity for the sharded scale trial (scale, perf)")
+		shards     = flag.Int("shards", 0, "shard count for the sharded scale trial; 0 = GOMAXPROCS")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -124,6 +127,17 @@ func main() {
 		},
 		"scale": func() {
 			fmt.Print(experiments.RunScaleWith(opts, []int{4, 6, 8}).Render())
+			// The sharded scale trial: simulated outcome on stdout
+			// (invariant under -shards, diffed by CI), throughput and
+			// per-shard memory on stderr.
+			var hb netsim.ShardProgress
+			if *progress {
+				hb = experiments.ScaleHeartbeat(os.Stderr)
+			}
+			res := experiments.RunScaleTrial(experiments.DefaultScaleTrialConfig(*arity, *shards, *seed), hb)
+			fmt.Print(res.Render())
+			fmt.Fprint(os.Stderr, res.RenderMem())
+			fmt.Fprintln(os.Stderr, res.TimingLine())
 		},
 		"ctrlchan": func() {
 			fmt.Print(experiments.RunCtrlChanWith(opts, *trials/2+1, *seed).Render())
@@ -138,6 +152,7 @@ func main() {
 			// JSON (the BENCH_perf.json format) on stdout; the human
 			// summary goes to stderr so redirection stays machine-readable.
 			res := experiments.RunPerfWith(opts, *trials/4+1, *seed)
+			res.AddScale(experiments.DefaultScaleTrialConfig(*arity, *shards, *seed))
 			fmt.Print(res.JSON())
 			fmt.Fprint(os.Stderr, res.Render())
 		},

@@ -45,6 +45,7 @@ var Allocfree = &Analyzer{
 var allocfreeRoots = []string{
 	"mars/internal/netsim.Simulator.Run",
 	"mars/internal/netsim.Simulator.RunAll",
+	"mars/internal/netsim.Simulator.RunShardWindow",
 	"mars/internal/dataplane.Program.OnForward",
 	"mars/internal/dataplane.Program.OnDrop",
 	"mars/internal/dataplane.Program.OnDeliver",
@@ -73,6 +74,7 @@ var allocGuards = map[string]bool{
 	"TestPromoteAllocs":            true,
 	"TestSinkRecordAllocs":         true,
 	"TestProgramSteadyStateAllocs": true,
+	"TestShardedStepAllocs":        true,
 }
 
 // AllocGuardTests returns the registered guard-test names, sorted.

@@ -121,15 +121,27 @@ func (p *Program) releaseMeta(m *PacketMeta) {
 // New creates the program. paths is the control-plane PathID table (the
 // consensus hash chain + MAT entries).
 func New(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Notifier) *Program {
+	return NewResident(cfg, topo, paths, notifier, nil)
+}
+
+// NewResident creates a program whose register state (Ingress/Egress/Ring
+// Tables, threshold maps) is allocated only for switches in the resident
+// set; nil means every switch. The sharded engine attaches one resident
+// program per shard — a switch's packets are always processed by its
+// owning shard, so per-switch registers need exist only there, and total
+// register memory stays flat as the shard count grows. Per-switch
+// accessors are nil-safe for non-resident switches (SetThreshold and
+// FlushSwitch no-op; ITFlows/ETEntries report zero).
+func NewResident(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Notifier, resident []topology.NodeID) *Program {
 	p := &Program{Cfg: cfg, Topo: topo, Paths: paths, Notifier: notifier}
 	p.cdc = cfg.Codec
 	if p.cdc == nil {
 		p.cdc = builtin{}
 	}
 	p.states = make([]switchState, len(topo.Nodes))
-	for i := range topo.Nodes {
+	populate := func(i topology.NodeID) {
 		if topo.Nodes[i].Kind != topology.KindSwitch {
-			continue
+			return
 		}
 		p.states[i] = switchState{
 			it:         NewIngressTable(len(topo.Nodes)),
@@ -137,6 +149,15 @@ func New(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Noti
 			rt:         NewRingTable(cfg.RingSize),
 			thresholds: make(map[FlowID]netsim.Time),
 			telemEpoch: make(map[FlowID]int64),
+		}
+	}
+	if resident == nil {
+		for i := range topo.Nodes {
+			populate(topology.NodeID(i))
+		}
+	} else {
+		for _, sw := range resident {
+			populate(sw)
 		}
 	}
 	p.sinkOf = make([]topology.NodeID, len(topo.Nodes))
@@ -149,6 +170,11 @@ func New(cfg Config, topo *topology.Topology, paths *pathid.Table, notifier Noti
 		}
 	}
 	return p
+}
+
+// Resident reports whether sw's registers live in this program instance.
+func (p *Program) Resident(sw topology.NodeID) bool {
+	return int(sw) < len(p.states) && p.states[sw].it != nil
 }
 
 // EpochOf converts a time to a telemetry epoch ID.
@@ -180,10 +206,13 @@ func (p *Program) FlushSwitch(sw topology.NodeID) {
 // (the control plane pushes the same value to every switch on the flow's
 // paths; pushing to all switches is equivalent and simpler).
 func (p *Program) SetThreshold(sw topology.NodeID, flow FlowID, d netsim.Time) {
+	if p.states[sw].thresholds == nil {
+		return
+	}
 	p.states[sw].thresholds[flow] = d
 }
 
-// SetThresholdAll installs a flow threshold on every switch.
+// SetThresholdAll installs a flow threshold on every resident switch.
 func (p *Program) SetThresholdAll(flow FlowID, d netsim.Time) {
 	for _, sw := range p.Topo.Switches() {
 		p.SetThreshold(sw, flow, d)
@@ -201,14 +230,28 @@ func (p *Program) threshold(sw topology.NodeID, flow FlowID) netsim.Time {
 // RTSnapshot returns the sink switch's Ring Table contents oldest-first.
 // The control plane's collection cost is accounted by the caller.
 func (p *Program) RTSnapshot(sw topology.NodeID) []RTRecord {
+	if p.states[sw].rt == nil {
+		return nil
+	}
 	return p.states[sw].rt.Snapshot()
 }
 
 // ITFlows / ETEntries expose table occupancy for the resource model.
-func (p *Program) ITFlows(sw topology.NodeID) int { return p.states[sw].it.Flows() }
+// Non-resident switches report zero.
+func (p *Program) ITFlows(sw topology.NodeID) int {
+	if p.states[sw].it == nil {
+		return 0
+	}
+	return p.states[sw].it.Flows()
+}
 
 // ETEntries returns the sink-side (flow, path) entry count at sw.
-func (p *Program) ETEntries(sw topology.NodeID) int { return p.states[sw].et.Entries() }
+func (p *Program) ETEntries(sw topology.NodeID) int {
+	if p.states[sw].et == nil {
+		return 0
+	}
+	return p.states[sw].et.Entries()
+}
 
 // notify sends a notification unless suppressed by the per-switch window.
 func (p *Program) notify(s *netsim.Simulator, sw topology.NodeID, n Notification) {

@@ -38,13 +38,38 @@ type PerfRow struct {
 	BytesPerPacket float64 `json:"bytes_per_packet"`
 }
 
+// ScaleShardMem is one shard's memory high-water marks in the scale tier.
+type ScaleShardMem struct {
+	Shard         int   `json:"shard"`
+	OwnedSwitches int   `json:"owned_switches"`
+	AgendaPeak    int   `json:"agenda_peak"`
+	PeakKB        int64 `json:"peak_kb"`
+}
+
+// ScalePerf is the sharded scale tier's throughput/memory baseline: one
+// full k-arity data-plane trial through the sharded engine. Like the rest
+// of this file it is machine-dependent by design.
+type ScalePerf struct {
+	K             int             `json:"k"`
+	Shards        int             `json:"shards"`
+	Flows         int             `json:"flows"`
+	Packets       int64           `json:"packets"`
+	Events        int64           `json:"events"`
+	Rounds        int64           `json:"rounds"`
+	WallSeconds   float64         `json:"wall_seconds"`
+	PacketsPerSec float64         `json:"packets_per_sec"`
+	EventsPerSec  float64         `json:"events_per_sec"`
+	ShardMem      []ScaleShardMem `json:"shard_mem"`
+}
+
 // PerfResult is the full sweep, JSON-serializable for BENCH_perf.json.
 type PerfResult struct {
 	// Note flags the machine sensitivity for anyone diffing baselines.
-	Note  string    `json:"note"`
-	Seed  int64     `json:"seed"`
-	Fault string    `json:"fault"`
-	Rows  []PerfRow `json:"rows"`
+	Note  string     `json:"note"`
+	Seed  int64      `json:"seed"`
+	Fault string     `json:"fault"`
+	Rows  []PerfRow  `json:"rows"`
+	Scale *ScalePerf `json:"scale,omitempty"`
 }
 
 // RunPerf measures with default engine options.
@@ -93,6 +118,34 @@ func RunPerfWith(opts EngineOptions, trials int, baseSeed int64) *PerfResult {
 	return res
 }
 
+// AddScale runs the sharded scale trial described by tc and attaches its
+// throughput and per-shard memory numbers to the baseline.
+func (r *PerfResult) AddScale(tc TrialConfig) {
+	st := RunScaleTrial(tc, nil)
+	sp := &ScalePerf{
+		K:           st.K,
+		Shards:      st.Shards,
+		Flows:       st.Flows,
+		Packets:     st.Delivered,
+		Events:      st.Events,
+		Rounds:      st.Rounds,
+		WallSeconds: st.WallSeconds,
+	}
+	if st.WallSeconds > 0 {
+		sp.PacketsPerSec = float64(st.Delivered) / st.WallSeconds
+		sp.EventsPerSec = float64(st.Events) / st.WallSeconds
+	}
+	for _, m := range st.Mem {
+		sp.ShardMem = append(sp.ShardMem, ScaleShardMem{
+			Shard:         m.Shard,
+			OwnedSwitches: m.OwnedSwitches,
+			AgendaPeak:    m.AgendaPeak,
+			PeakKB:        m.PeakBytes / 1024,
+		})
+	}
+	r.Scale = sp
+}
+
 // JSON renders the machine-readable baseline (the BENCH_perf.json format).
 func (r *PerfResult) JSON() string {
 	b, err := json.MarshalIndent(r, "", "  ")
@@ -114,6 +167,10 @@ func (r *PerfResult) Render() string {
 		fmt.Fprintf(&b, "%-10s %12.0f %10d %10d %12.2f %8.2f\n",
 			row.Codec, row.PacketsPerSec, row.Packets, row.TelemetryPackets,
 			row.WallSeconds, row.BytesPerPacket)
+	}
+	if s := r.Scale; s != nil {
+		fmt.Fprintf(&b, "scale: k=%d shards=%d packets=%d events=%d wall=%.2fs pkts/s=%.0f events/s=%.0f\n",
+			s.K, s.Shards, s.Packets, s.Events, s.WallSeconds, s.PacketsPerSec, s.EventsPerSec)
 	}
 	return b.String()
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mars/internal/netsim"
+)
+
+// The scale trial's simulated outcome must be invariant under the shard
+// count: Render() — the exact bytes CI diffs — is compared across an
+// unsharded and a sharded run of the same config. (k=4 keeps the test
+// fast; the k=16/k=32 arities exercise the same code paths at size.)
+func TestScaleTrialShardInvariance(t *testing.T) {
+	tc := DefaultScaleTrialConfig(4, 1, 7)
+	tc.NumFlows = 32
+	tc.RatePPS = 150
+	tc.Total = 200 * netsim.Millisecond
+	var beats int
+	a := RunScaleTrial(tc, nil)
+	tc.Shards = 3
+	b := RunScaleTrial(tc, func(netsim.Time, []int64) { beats++ })
+	if a.Delivered == 0 || a.TelemetryPackets == 0 {
+		t.Fatalf("degenerate trial: %+v", a)
+	}
+	if ra, rb := a.Render(), b.Render(); ra != rb {
+		t.Fatalf("render diverges across shard counts:\nshards=1:\n%s\nshards=3:\n%s", ra, rb)
+	}
+	if beats == 0 {
+		t.Error("progress heartbeat never fired")
+	}
+	if a.Shards != 1 || b.Shards != 3 {
+		t.Errorf("effective shard counts %d/%d, want 1/3", a.Shards, b.Shards)
+	}
+	// Resident register memory partitions the fabric: every switch is
+	// owned by exactly one shard in both runs.
+	for _, r := range []*ScaleTrialResult{a, b} {
+		ownedSwitches := 0
+		for _, m := range r.Mem {
+			ownedSwitches += m.OwnedSwitches
+		}
+		if ownedSwitches != r.Switches {
+			t.Errorf("shards own %d switches, fabric has %d", ownedSwitches, r.Switches)
+		}
+	}
+	if !strings.Contains(b.TimingLine(), "shards=3") {
+		t.Errorf("timing line missing shard count: %q", b.TimingLine())
+	}
+}

@@ -90,6 +90,12 @@ type TrialConfig struct {
 	// every pre-existing sweep byte-identical. Only the overhead
 	// experiment sets it.
 	Codec string
+
+	// Shards is the sharded-engine shard count for the scale tier
+	// (RunScaleTrial); 0 means auto (GOMAXPROCS, clamped to the partition).
+	// The count never changes simulated output — only wall-clock time —
+	// and the classic single-heap trials ignore it.
+	Shards int
 }
 
 // DefaultTrialConfig sizes a trial so the five fault signatures are

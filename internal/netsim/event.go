@@ -37,9 +37,21 @@ const (
 
 // event is one scheduled occurrence. Packet events carry their operands
 // inline (node a, port b, pkt); only evFunc carries a closure.
+//
+// ord makes the agenda's order a total order that is invariant under
+// sharding. The sharded engine packs (generating partition unit, that
+// unit's event count) into it, unit-major — see unitShift in sim.go — so
+// same-timestamp events order by generating unit, then by the unit's own
+// scheduling order. Both halves are properties of the simulated system,
+// not of the execution: a shard receiving a mailbox event from another
+// shard inserts it with the ord it was generated with, so the heap's
+// (at, ord) order is identical at any shard count. The classic
+// single-heap simulator stamps a bare global counter (its only unit is
+// 0), which is the historical (at, scheduling order) tie-break — and
+// exactly what a single-unit sharded run produces.
 type event struct {
 	at   Time
-	seq  uint64
+	ord  uint64
 	kind eventKind
 	a    int32
 	b    int32
@@ -48,27 +60,41 @@ type event struct {
 }
 
 // agenda is the simulator's pending-event set: a binary min-heap ordered
-// by (at, seq). Events are stored by value in a reusable backing slice, so
-// scheduling allocates only on capacity growth.
+// by (at, ord). Events are stored by value in a reusable backing
+// slice, so scheduling allocates only on capacity growth.
 type agenda struct {
 	h   []event
 	seq uint64
+	// peak tracks the high-water pending-event count for the MemStats-free
+	// memory accounting of the scale tier.
+	peak int
 }
 
-// before reports heap order: earlier time first, scheduling order within a
-// timestamp.
+// before reports heap order: earlier time first, then ord — the packed
+// (generating unit, per-unit scheduling order) stamp, or the bare global
+// counter in the classic simulator.
 func (a *agenda) before(i, j int) bool {
 	if a.h[i].at != a.h[j].at {
 		return a.h[i].at < a.h[j].at
 	}
-	return a.h[i].seq < a.h[j].seq
+	return a.h[i].ord < a.h[j].ord
 }
 
-func (a *agenda) push(e event) {
+func (a *agenda) push(e *event) {
 	a.seq++
-	e.seq = a.seq
+	e.ord = a.seq
+	a.pushStamped(e)
+}
+
+// pushStamped inserts an event that already carries its ord stamp — the
+// sharded engine packs (generating unit, per-unit seq) into it, and
+// mailbox events arriving from another shard must keep theirs.
+func (a *agenda) pushStamped(e *event) {
 	//mars:alloc TestNetsimStepAllocs the agenda array keeps its capacity across pops; steady state re-slices in place
-	a.h = append(a.h, e)
+	a.h = append(a.h, *e)
+	if len(a.h) > a.peak {
+		a.peak = len(a.h)
+	}
 	// Sift up.
 	i := len(a.h) - 1
 	for i > 0 {
@@ -82,7 +108,7 @@ func (a *agenda) push(e event) {
 }
 
 func (a *agenda) schedule(at Time, fn func()) {
-	a.push(event{at: at, kind: evFunc, fn: fn})
+	a.push(&event{at: at, kind: evFunc, fn: fn})
 }
 
 func (a *agenda) empty() bool { return len(a.h) == 0 }
@@ -114,3 +140,11 @@ func (a *agenda) next() event {
 }
 
 func (a *agenda) peek() Time { return a.h[0].at }
+
+// peekTime returns the earliest pending timestamp, if any.
+func (a *agenda) peekTime() (Time, bool) {
+	if len(a.h) == 0 {
+		return 0, false
+	}
+	return a.h[0].at, true
+}

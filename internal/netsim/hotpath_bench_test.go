@@ -35,3 +35,42 @@ func BenchmarkNetsimStep(b *testing.B) {
 		sim.RunAll()
 	}
 }
+
+// BenchmarkShardedStep measures the sharded engine's per-packet cost at
+// shards=1 — the configuration bench-gate holds against the classic
+// BenchmarkNetsimStep so sharding never taxes the sequential hot path.
+// One op is one end-to-end cross-pod packet, including the barrier
+// rounds and (empty) mailbox exchanges its windows incur.
+func BenchmarkShardedStep(b *testing.B) {
+	ft, err := topology.NewFatTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := NewSharded(ft.Topology, ft.PodPartition(), NewECMPRouter(ft.Topology, 1), nil, DefaultConfig(), 1, ShardedConfig{Shards: 1})
+	defer sh.Close()
+	hosts := ft.HostIDs
+	perPod := len(hosts) / ft.K
+	var (
+		i       int
+		horizon Time
+	)
+	step := func(s *Simulator) {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i%len(hosts)+perPod*(1+i%(ft.K-1)))%len(hosts)]
+		s.Send(s.Now(), src, dst, FlowKey(i), 700)
+	}
+	send := func() {
+		sh.OnNode(hosts[i%len(hosts)], step)
+		horizon += 10 * Millisecond
+		sh.Run(horizon)
+		i++
+	}
+	for n := 0; n < 64; n++ {
+		send()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		send()
+	}
+}

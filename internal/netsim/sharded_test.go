@@ -1,0 +1,331 @@
+package netsim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mars/internal/topology"
+)
+
+// traceRec is one observed packet event at one node.
+type traceRec struct {
+	at   Time
+	flow FlowKey
+	id   uint64
+	sz   int32
+}
+
+// traceHooks records per-node event sequences. Every node's events are
+// dispatched by exactly one engine (classic) or one owning shard, so the
+// per-node slices are append-only from a single goroutine.
+type traceHooks struct {
+	NopHooks
+	arrivals  [][]traceRec
+	delivered [][]traceRec
+	drops     [][]traceRec
+}
+
+func newTraceHooks(n int) *traceHooks {
+	return &traceHooks{
+		arrivals:  make([][]traceRec, n),
+		delivered: make([][]traceRec, n),
+		drops:     make([][]traceRec, n),
+	}
+}
+
+func (h *traceHooks) OnSwitchArrival(s *Simulator, sw topology.NodeID, in topology.PortID, pkt *Packet) {
+	h.arrivals[sw] = append(h.arrivals[sw], traceRec{s.Now(), pkt.Flow, pkt.ID, pkt.Size})
+}
+
+func (h *traceHooks) OnDeliver(s *Simulator, host topology.NodeID, pkt *Packet) {
+	h.delivered[host] = append(h.delivered[host], traceRec{s.Now(), pkt.Flow, pkt.ID, pkt.Size})
+}
+
+func (h *traceHooks) OnDrop(s *Simulator, sw topology.NodeID, port topology.PortID, pkt *Packet, r DropReason) {
+	h.drops[sw] = append(h.drops[sw], traceRec{s.Now(), pkt.Flow, pkt.ID, pkt.Size})
+}
+
+// mergeTraces folds per-shard traces into one per-node view. A node's
+// events all run on its owning shard, so exactly one input contributes to
+// each node slot and concatenation preserves its order.
+func mergeTraces(hs []*traceHooks) *traceHooks {
+	out := newTraceHooks(len(hs[0].arrivals))
+	for _, h := range hs {
+		for i := range h.arrivals {
+			out.arrivals[i] = append(out.arrivals[i], h.arrivals[i]...)
+			out.delivered[i] = append(out.delivered[i], h.delivered[i]...)
+			out.drops[i] = append(out.drops[i], h.drops[i]...)
+		}
+	}
+	return out
+}
+
+func clearIDs(h *traceHooks) {
+	for _, seqs := range [][][]traceRec{h.arrivals, h.delivered, h.drops} {
+		for i := range seqs {
+			for j := range seqs[i] {
+				seqs[i][j].id = 0
+			}
+		}
+	}
+}
+
+// installEmitters schedules nflows recurring senders between cross-pod
+// host pairs through `on` (OnNode for sharded engines, direct call for
+// the classic one). When useRNG is set, sizes and gaps draw from the
+// node-context RNG stream; otherwise the flow is CBR with fixed size.
+func installEmitters(on func(topology.NodeID, func(*Simulator)), ft *topology.FatTree, nflows int, useRNG bool, stop Time) {
+	hosts := ft.HostIDs
+	perPod := len(hosts) / ft.K
+	for i := 0; i < nflows; i++ {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i%len(hosts)+perPod*(1+i%(ft.K-1)))%len(hosts)]
+		key := FlowKey(i + 1)
+		start := Time(i%37) * 100 * Microsecond
+		mean := float64(5 * Millisecond)
+		on(src, func(s *Simulator) {
+			var emit func()
+			emit = func() {
+				if s.Now() >= stop {
+					return
+				}
+				size := int32(700)
+				gap := Time(mean)
+				if useRNG {
+					size = int32(100 + s.RNG().Intn(1300))
+					gap = Time(s.RNG().ExpFloat64() * mean)
+				}
+				s.Send(s.Now(), src, dst, key, size)
+				s.After(gap+1, emit)
+			}
+			s.At(start, emit)
+		})
+	}
+}
+
+type engineResult struct {
+	stats  Stats
+	trace  *traceHooks
+	rounds int64
+	events int64
+}
+
+func runClassic(t *testing.T, ft *topology.FatTree, seed int64, nflows int, useRNG, withFault bool, until Time) engineResult {
+	t.Helper()
+	tr := newTraceHooks(len(ft.Nodes))
+	sim := New(ft.Topology, NewECMPRouter(ft.Topology, 1), tr, DefaultConfig(), seed)
+	if withFault {
+		sim.SetPortDropProb(ft.AggIDs[0], 0, 0.2)
+	}
+	installEmitters(func(n topology.NodeID, fn func(*Simulator)) { fn(sim) }, ft, nflows, useRNG, until)
+	sim.Run(until)
+	return engineResult{stats: sim.Stats, trace: tr}
+}
+
+func runSharded(t *testing.T, ft *topology.FatTree, part *topology.Partition, seed int64, scfg ShardedConfig, nflows int, useRNG, withFault bool, until Time) engineResult {
+	t.Helper()
+	traces := make([]*traceHooks, 0, 16)
+	hooksFor := func(int) Hooks {
+		h := newTraceHooks(len(ft.Nodes))
+		traces = append(traces, h)
+		return h
+	}
+	sh := NewSharded(ft.Topology, part, NewECMPRouter(ft.Topology, 1), hooksFor, DefaultConfig(), seed, scfg)
+	defer sh.Close()
+	if withFault {
+		sh.OnNode(ft.AggIDs[0], func(s *Simulator) { s.SetPortDropProb(ft.AggIDs[0], 0, 0.2) })
+	}
+	installEmitters(sh.OnNode, ft, nflows, useRNG, until)
+	sh.Run(until)
+	var events int64
+	for _, n := range sh.Events() {
+		events += n
+	}
+	return engineResult{stats: sh.MergedStats(), trace: mergeTraces(traces), rounds: sh.Rounds(), events: events}
+}
+
+func requireEqualTraces(t *testing.T, label string, want, got engineResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.stats, got.stats) {
+		t.Errorf("%s: stats diverge:\nwant %+v\ngot  %+v", label, want.stats, got.stats)
+	}
+	for i := range want.trace.arrivals {
+		if !reflect.DeepEqual(want.trace.arrivals[i], got.trace.arrivals[i]) {
+			t.Fatalf("%s: node %d arrival sequence diverges (%d vs %d events)",
+				label, i, len(want.trace.arrivals[i]), len(got.trace.arrivals[i]))
+		}
+		if !reflect.DeepEqual(want.trace.delivered[i], got.trace.delivered[i]) {
+			t.Fatalf("%s: node %d delivery sequence diverges", label, i)
+		}
+		if !reflect.DeepEqual(want.trace.drops[i], got.trace.drops[i]) {
+			t.Fatalf("%s: node %d drop sequence diverges", label, i)
+		}
+	}
+}
+
+// TestShardedMatchesClassicSingleUnit pins the strongest equivalence: with
+// a single-unit partition the sharded engine must reproduce the classic
+// simulator event for event — same RNG draws, same packet IDs, same
+// per-node sequences — across arities and seeds, RNG-heavy workload and a
+// random-loss fault included.
+func TestShardedMatchesClassicSingleUnit(t *testing.T) {
+	until := 300 * Millisecond
+	for _, k := range []int{4, 6} {
+		ft, err := topology.NewFatTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			classic := runClassic(t, ft, seed, 24, true, true, until)
+			sharded := runSharded(t, ft, topology.SingleUnit(ft.Topology), seed,
+				ShardedConfig{Shards: 1}, 24, true, true, until)
+			if classic.stats.Sent == 0 || classic.stats.Delivered == 0 {
+				t.Fatalf("k=%d seed=%d: degenerate workload (sent=%d delivered=%d)",
+					k, seed, classic.stats.Sent, classic.stats.Delivered)
+			}
+			requireEqualTraces(t, "single-unit", classic, sharded)
+		}
+	}
+}
+
+// TestShardedMatchesClassicPodPartition is the order property against the
+// pod partition: with an RNG-free workload (per-unit streams untouched)
+// the per-node event sequences of the sharded run must be identical to
+// the classic global-heap run — every node sees every event in the same
+// order. Packet IDs are stride-encoded per unit in sharded mode, so they
+// are normalized out; times, flows, sizes, and order must match exactly.
+func TestShardedMatchesClassicPodPartition(t *testing.T) {
+	until := 300 * Millisecond
+	for _, k := range []int{4, 6} {
+		ft, err := topology.NewFatTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 2; seed++ {
+			classic := runClassic(t, ft, seed, 24, false, false, until)
+			sharded := runSharded(t, ft, ft.PodPartition(), seed,
+				ShardedConfig{Shards: 4}, 24, false, false, until)
+			clearIDs(classic.trace)
+			clearIDs(sharded.trace)
+			requireEqualTraces(t, "pod-partition", classic, sharded)
+		}
+	}
+}
+
+// TestShardedShardCountInvariance is the shards=1≡N digest: the same
+// seeded scenario — RNG workload plus a random-loss fault — must produce
+// identical stats, per-node traces, and barrier-round counts at every
+// shard count, in both serial and parallel execution. CI runs this under
+// -race, which exercises the coordinator/worker handoff.
+func TestShardedShardCountInvariance(t *testing.T) {
+	// Force the worker-pool path even on single-CPU machines (the engine
+	// would otherwise auto-select serial rounds and leave the goroutine
+	// handoff untested).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ft, err := topology.NewFatTree(6) // 9 units: 6 pods + 3 core stripes
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := ft.PodPartition()
+	until := 300 * Millisecond
+	const seed = 42
+	run := func(scfg ShardedConfig) engineResult {
+		return runSharded(t, ft, part, seed, scfg, 24, true, true, until)
+	}
+	base := run(ShardedConfig{Shards: 1})
+	if base.stats.Sent == 0 || base.stats.Dropped == 0 {
+		t.Fatalf("degenerate workload: %+v", base.stats)
+	}
+	for _, n := range []int{2, 4, 8} {
+		got := run(ShardedConfig{Shards: n})
+		requireEqualTraces(t, "shards", base, got)
+		if got.rounds != base.rounds {
+			t.Errorf("shards=%d: %d barrier rounds, shards=1 had %d", n, got.rounds, base.rounds)
+		}
+		if got.events != base.events {
+			t.Errorf("shards=%d: %d events dispatched, shards=1 had %d", n, got.events, base.events)
+		}
+		serial := run(ShardedConfig{Shards: n, Serial: true})
+		requireEqualTraces(t, "serial", base, serial)
+	}
+}
+
+// TestShardedMemEstimates sanity-checks the MemStats-free accounting: a
+// run must report owned switches partitioning the fabric, a nonzero
+// agenda peak, and live+pooled packets consistent with the pool counter.
+func TestShardedMemEstimates(t *testing.T) {
+	ft, err := topology.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runShardedForMem(t, ft, 4)
+	totalSwitches, totalLive := 0, 0
+	for _, m := range res {
+		totalSwitches += m.OwnedSwitches
+		totalLive += m.PacketsLive
+		if m.AgendaPeak <= 0 || m.EstBytes <= 0 || m.PeakBytes < m.EstBytes-int64(len(ft.Nodes))*64 {
+			t.Errorf("shard %d: implausible estimate %+v", m.Shard, m)
+		}
+	}
+	// Packets released on a different shard than they were acquired leave
+	// one shard's live count negative and another's positive; after a full
+	// drain the fleet-wide sum must balance to zero.
+	if totalLive != 0 {
+		t.Errorf("%d packets live across shards after drain, want 0", totalLive)
+	}
+	if totalSwitches != ft.NumSwitches() {
+		t.Errorf("owned switches sum to %d, want %d", totalSwitches, ft.NumSwitches())
+	}
+}
+
+func runShardedForMem(t *testing.T, ft *topology.FatTree, shards int) []MemEstimate {
+	t.Helper()
+	sh := NewSharded(ft.Topology, ft.PodPartition(), NewECMPRouter(ft.Topology, 1), nil, DefaultConfig(), 7, ShardedConfig{Shards: shards})
+	defer sh.Close()
+	installEmitters(sh.OnNode, ft, 16, true, 100*Millisecond)
+	sh.Run(400 * Millisecond) // generous horizon: all in-flight packets drain
+	return sh.Mem()
+}
+
+// TestShardedStepAllocs pins the sharded hot path at zero allocations per
+// end-to-end packet in steady state, including the cross-shard outbox and
+// mailbox exchange: the run uses two serial shards, so every packet
+// crosses the barrier machinery. Serial mode keeps AllocsPerRun honest
+// (no goroutine scheduling noise); the parallel coordinator adds no
+// per-event work beyond channel sends.
+func TestShardedStepAllocs(t *testing.T) {
+	ft, err := topology.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	sh := NewSharded(ft.Topology, ft.PodPartition(), NewECMPRouter(ft.Topology, 1), nil, cfg, 1, ShardedConfig{Shards: 2, Serial: true})
+	defer sh.Close()
+	hosts := ft.HostIDs
+	perPod := len(hosts) / ft.K
+	var (
+		i       int
+		horizon Time
+	)
+	step := func(s *Simulator) {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i%len(hosts)+perPod*(1+i%(ft.K-1)))%len(hosts)]
+		s.Send(s.Now(), src, dst, FlowKey(i), 700)
+	}
+	send := func() {
+		sh.OnNode(hosts[i%len(hosts)], step)
+		horizon += 10 * Millisecond
+		sh.Run(horizon)
+		i++
+	}
+	// Warm the agendas, outboxes, packet pools, and port queues on every
+	// path the sends below traverse.
+	for n := 0; n < 256; n++ {
+		send()
+	}
+	avg := testing.AllocsPerRun(200, send)
+	if avg != 0 {
+		t.Errorf("sharded end-to-end packet allocates %.2f objects/op, want 0", avg)
+	}
+}

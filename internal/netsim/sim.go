@@ -176,6 +176,39 @@ type Simulator struct {
 	// intact, so a steady-state run allocates no packets at all. Reuse is
 	// LIFO and single-threaded, hence deterministic.
 	free []*Packet
+	// pktAlloc counts packets ever allocated (pool misses); together with
+	// len(free) it gives the live-packet estimate without runtime.MemStats.
+	pktAlloc int64
+	// shard is non-nil when this simulator is one shard of a Sharded
+	// engine (sharded.go); nil keeps the classic single-heap behavior,
+	// byte-identical to the historical simulator.
+	shard *shardCtx
+}
+
+// shardCtx is the per-shard state the event path needs when this
+// simulator runs as one shard of a Sharded engine. Events are stamped with
+// their generating unit and a per-unit sequence number, and events whose
+// owning unit lives on another shard are buffered in outboxes that the
+// coordinator exchanges at epoch barriers.
+type shardCtx struct {
+	id int32
+	// unitOf maps NodeID -> partition unit (shared, read-only).
+	unitOf []int32
+	// shardOf maps unit -> shard (shared, read-only).
+	shardOf []int32
+	// curUnit is the unit whose event (or OnNode callback) is executing;
+	// everything generated now is stamped with it.
+	curUnit int32
+	// unitSeq / unitPkt / rngs are indexed by unit; only this shard's
+	// owned units are ever touched (ownership is static).
+	unitSeq []uint64
+	unitPkt []uint64
+	rngs    []*rand.Rand
+	// numUnits sizes the packet-ID stride so IDs stay globally unique.
+	numUnits uint64
+	// outbox[d] buffers events owned by shard d, appended in local
+	// dispatch order and drained by the coordinator at the next barrier.
+	outbox [][]event
 }
 
 // New creates a simulator over topo using router for forwarding decisions
@@ -214,7 +247,7 @@ func (s *Simulator) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
-	s.agenda.schedule(t, fn)
+	s.push(&event{at: t, kind: evFunc, fn: fn})
 }
 
 // After schedules fn after a delay from now.
@@ -247,10 +280,94 @@ func (s *Simulator) RunAll() Time {
 	return s.now
 }
 
+// RunShardWindow processes this shard's local events with timestamps
+// strictly below end and returns how many it dispatched. It is the
+// per-shard inner loop of the Sharded engine's barrier protocol
+// (sharded.go): the coordinator guarantees no event below end can still
+// arrive from another shard, so draining the local heap up to end is
+// exactly the sequential order. Stop is not honored here — a sharded run
+// is bounded by its Run(until) horizon instead.
+func (s *Simulator) RunShardWindow(end Time) int64 {
+	var n int64
+	for {
+		t, ok := s.agenda.peekTime()
+		if !ok || t >= end {
+			return n
+		}
+		e := s.agenda.next()
+		s.now = e.at
+		s.dispatch(e)
+		n++
+	}
+}
+
+// unitShift packs the generating unit into an event's ord stamp above the
+// per-unit sequence counter: ord = unit<<unitShift | seq. 48 bits leave
+// room for ~2.8e14 events per unit per run, orders of magnitude beyond any
+// sweep, while keeping heap comparisons a single uint64 compare.
+const unitShift = 48
+
+// push stamps and routes one event. The classic simulator stamps a global
+// sequence number and inserts locally (this path must stay inline-thin —
+// it is on the per-packet hot path); a shard stamps (generating unit,
+// per-unit seq) and diverts events owned by a foreign shard into the
+// outbox for the next barrier exchange.
+func (s *Simulator) push(e *event) {
+	if s.shard == nil {
+		s.agenda.push(e)
+		return
+	}
+	s.pushSharded(e)
+}
+
+// pushSharded is the sharded engine's stamp-and-route half of push.
+func (s *Simulator) pushSharded(e *event) {
+	c := s.shard
+	u := c.curUnit
+	c.unitSeq[u]++
+	e.ord = uint64(u)<<unitShift | c.unitSeq[u]
+	if d := c.shardOf[s.ownerUnit(e)]; d != c.id {
+		//mars:alloc TestShardedStepAllocs outboxes keep their capacity across barrier drains; steady state appends in place
+		c.outbox[d] = append(c.outbox[d], *e)
+		return
+	}
+	s.agenda.pushStamped(e)
+}
+
+// ownerUnit returns the partition unit whose state the event touches when
+// dispatched — the unit (and therefore shard) that must execute it. Only
+// evPropagate can cross units: every other packet event operates on the
+// switch that generated it, and evFunc closures stay with the unit that
+// scheduled them (their generating unit, recovered from the ord stamp).
+func (s *Simulator) ownerUnit(e *event) int32 {
+	switch e.kind {
+	case evFunc:
+		return int32(e.ord >> unitShift)
+	case evHostArrive, evProcArrive, evEnqueue, evTxDone, evStartTx:
+		return s.shard.unitOf[e.a]
+	case evPropagate:
+		return s.shard.unitOf[s.Topo.Node(topology.NodeID(e.a)).Ports[e.b].Peer]
+	}
+	return int32(e.ord >> unitShift)
+}
+
+// setUnitContext switches the shard's generation context to the event's
+// owning unit before dispatch: subsequent pushes are stamped with it and
+// random draws come from its stream, so per-unit streams advance in each
+// unit's own dispatch order regardless of how units share shards.
+func (s *Simulator) setUnitContext(e *event) {
+	u := s.ownerUnit(e)
+	s.shard.curUnit = u
+	s.rng = s.shard.rngs[u]
+}
+
 // dispatch executes one event. Packet events resolve their port operands
 // against the immutable topology at fire time, so the agenda never carries
 // more than (node, port, packet).
 func (s *Simulator) dispatch(e event) {
+	if s.shard != nil {
+		s.setUnitContext(&e)
+	}
 	switch e.kind {
 	case evFunc:
 		e.fn()
@@ -287,6 +404,7 @@ func (s *Simulator) acquirePacket() *Packet {
 		s.free = s.free[:n-1]
 		return pkt
 	}
+	s.pktAlloc++
 	return &Packet{}
 }
 
@@ -314,10 +432,18 @@ func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size in
 	if size <= 0 {
 		panic("netsim: packet size must be positive")
 	}
-	s.nextPkt++
 	//mars:lifecycle ownership transfers to the event agenda with the packet; deliver/drop release it at end of life
 	pkt := s.acquirePacket()
-	pkt.ID = s.nextPkt
+	if c := s.shard; c != nil {
+		// Per-unit ID stream, stride-encoded so IDs are globally unique
+		// and — with one unit — identical to the classic 1,2,3... stream.
+		u := c.curUnit
+		pkt.ID = c.unitPkt[u]*c.numUnits + uint64(u) + 1
+		c.unitPkt[u]++
+	} else {
+		s.nextPkt++
+		pkt.ID = s.nextPkt
+	}
 	pkt.Src = src
 	pkt.Dst = dst
 	pkt.Flow = flow
@@ -335,7 +461,7 @@ func (s *Simulator) Send(t Time, src, dst topology.NodeID, flow FlowKey, size in
 	if at < s.now {
 		at = s.now
 	}
-	s.agenda.push(event{at: at, kind: evHostArrive, a: int32(edge), b: int32(inPort), pkt: pkt})
+	s.push(&event{at: at, kind: evHostArrive, a: int32(edge), b: int32(inPort), pkt: pkt})
 	return pkt
 }
 
@@ -358,7 +484,8 @@ func (s *Simulator) txTimeHost(n int32) Time {
 // itself experiences) and then runs the pipeline.
 func (s *Simulator) arriveAtSwitch(sw topology.NodeID, inPort topology.PortID, pkt *Packet) {
 	if extra := s.switches[sw].procExtra; extra > 0 {
-		s.agenda.push(event{at: s.now + extra, kind: evProcArrive, a: int32(sw), b: int32(inPort), pkt: pkt})
+		//mars:alloc TestNetsimStepAllocs push copies the event into the agenda array; the literal never outlives the call and stays on the stack
+		s.push(&event{at: s.now + extra, kind: evProcArrive, a: int32(sw), b: int32(inPort), pkt: pkt})
 		return
 	}
 	s.processAtSwitch(sw, inPort, pkt)
@@ -408,7 +535,8 @@ func (s *Simulator) processAtSwitch(sw topology.NodeID, inPort topology.PortID, 
 	}
 	// Pipeline processing delay before the packet is ready at the egress
 	// queue.
-	s.agenda.push(event{at: s.now + s.Cfg.SwitchProcDelay, kind: evEnqueue, a: int32(sw), b: int32(outPort), pkt: pkt})
+	//mars:alloc TestNetsimStepAllocs push copies the event into the agenda array; the literal never outlives the call and stays on the stack
+	s.push(&event{at: s.now + s.Cfg.SwitchProcDelay, kind: evEnqueue, a: int32(sw), b: int32(outPort), pkt: pkt})
 }
 
 // enqueue places pkt on the egress queue of sw/outPort (tail-dropping if
@@ -444,7 +572,8 @@ func (s *Simulator) startTransmit(sw topology.NodeID, outPort topology.PortID) {
 	start := s.now
 	if pr.nextFreeAt > start {
 		pr.busy = true
-		s.agenda.push(event{at: pr.nextFreeAt, kind: evStartTx, a: int32(sw), b: int32(outPort)})
+		//mars:alloc TestNetsimStepAllocs push copies the event into the agenda array; the literal never outlives the call and stays on the stack
+		s.push(&event{at: pr.nextFreeAt, kind: evStartTx, a: int32(sw), b: int32(outPort)})
 		return
 	}
 	s.startTransmitNow(sw, outPort)
@@ -479,7 +608,8 @@ func (s *Simulator) startTransmitNow(sw topology.NodeID, outPort topology.PortID
 		tx = g
 	}
 	pr.nextFreeAt = s.now + tx
-	s.agenda.push(event{at: s.now + tx, kind: evTxDone, a: int32(sw), b: int32(outPort), pkt: pkt})
+	//mars:alloc TestNetsimStepAllocs push copies the event into the agenda array; the literal never outlives the call and stays on the stack
+	s.push(&event{at: s.now + tx, kind: evTxDone, a: int32(sw), b: int32(outPort), pkt: pkt})
 }
 
 // txDone completes one serialization: account the link bytes, schedule the
@@ -488,7 +618,8 @@ func (s *Simulator) txDone(sw topology.NodeID, outPort topology.PortID, pkt *Pac
 	port := s.Topo.Node(sw).Ports[outPort]
 	s.Stats.LinkBytes[port.Link] += int64(pkt.WireSize())
 	s.countDir(port.Link, sw, pkt.WireSize())
-	s.agenda.push(event{at: s.now + s.Cfg.PropDelay, kind: evPropagate, a: int32(sw), b: int32(outPort), pkt: pkt})
+	//mars:alloc TestNetsimStepAllocs push copies the event into the agenda array; the literal never outlives the call and stays on the stack
+	s.push(&event{at: s.now + s.Cfg.PropDelay, kind: evPropagate, a: int32(sw), b: int32(outPort), pkt: pkt})
 	s.startTransmit(sw, outPort)
 }
 
