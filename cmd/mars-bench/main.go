@@ -8,8 +8,16 @@
 //	mars-bench -exp all
 //
 // Experiments: table1, fig2, fig3, fig5, fig7, fig8, fig9, fig10, fig11,
-// pathid, scale, ctrlchan, gray, overhead, perf, ablation-sbfl,
+// pathid, scale, stream, ctrlchan, gray, overhead, perf, ablation-sbfl,
 // ablation-fsmlen, ablation-miner, ablation-cause.
+//
+// The stream experiment runs the continuously-diagnosing service
+// (internal/stream) against the sharded k-ary fabric with a mid-run
+// silent-drop fault: sink records feed the sliding-window pipeline epoch
+// by epoch and the run reports detection latency, accuracy per window
+// size, and the live metrics snapshot. -k and -shards size the fabric;
+// -workers bounds the service's analysis fan-out. Stdout is byte-identical
+// for any -shards/-workers value.
 //
 // The gray experiment runs the gray-failure/correlated-fault/topology-churn
 // schedule suite (silent drop, link flap, link down, switch reboot, uplink
@@ -35,11 +43,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"mars/internal/experiments"
@@ -139,6 +149,20 @@ func main() {
 			fmt.Fprint(os.Stderr, res.RenderMem())
 			fmt.Fprintln(os.Stderr, res.TimingLine())
 		},
+		"stream": func() {
+			// Continuous streaming diagnosis: simulated outcome on stdout
+			// (invariant under -shards and -workers, diffed by CI),
+			// sustained throughput on stderr.
+			var hb netsim.ShardProgress
+			if *progress {
+				hb = experiments.ScaleHeartbeat(os.Stderr)
+			}
+			tc := experiments.DefaultStreamTrialConfig(*arity, *shards, *seed)
+			tc.Workers = *workers
+			res := experiments.RunStreamTrial(tc, hb)
+			fmt.Print(res.Render())
+			fmt.Fprintln(os.Stderr, res.TimingLine())
+		},
 		"ctrlchan": func() {
 			fmt.Print(experiments.RunCtrlChanWith(opts, *trials/2+1, *seed).Render())
 		},
@@ -153,6 +177,7 @@ func main() {
 			// summary goes to stderr so redirection stays machine-readable.
 			res := experiments.RunPerfWith(opts, *trials/4+1, *seed)
 			res.AddScale(experiments.DefaultScaleTrialConfig(*arity, *shards, *seed))
+			res.AddStream(experiments.DefaultStreamTrialConfig(*arity, *shards, *seed))
 			fmt.Print(res.JSON())
 			fmt.Fprint(os.Stderr, res.Render())
 		},
@@ -170,9 +195,9 @@ func main() {
 		},
 	}
 	order := []string{"fig2", "fig3", "fig5", "fig7", "fig8", "table1", "fig9",
-		"fig10", "fig11", "pathid", "scale", "ctrlchan", "gray", "overhead",
-		"perf", "ablation-sbfl", "ablation-fsmlen", "ablation-miner",
-		"ablation-cause"}
+		"fig10", "fig11", "pathid", "scale", "stream", "ctrlchan", "gray",
+		"overhead", "perf", "ablation-sbfl", "ablation-fsmlen",
+		"ablation-miner", "ablation-cause"}
 
 	timed := func(name string, run func()) {
 		start := time.Now() //mars:wallclock wall-time progress reporting for the operator
@@ -202,11 +227,18 @@ func main() {
 }
 
 // progressPrinter streams one stderr line per completed trial. The harness
-// may invoke it from concurrent workers; each call is a single Fprintf, so
-// lines interleave but never tear.
+// may invoke it from concurrent workers, so a mutex serializes access to
+// the shared buffer: each line is formatted into it and flushed as exactly
+// one write, so lines interleave but never tear and each tick costs one
+// syscall instead of one per format fragment.
 func progressPrinter() harness.Progress {
+	var mu sync.Mutex
+	bw := bufio.NewWriter(os.Stderr)
 	return func(done, total int, t harness.Trial, elapsed time.Duration) {
-		fmt.Fprintf(os.Stderr, "progress: [%d/%d] %-44s %6.2fs\n",
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(bw, "progress: [%d/%d] %-44s %6.2fs\n",
 			done, total, t.Label, elapsed.Seconds())
+		bw.Flush()
 	}
 }

@@ -75,6 +75,7 @@ var allocGuards = map[string]bool{
 	"TestSinkRecordAllocs":         true,
 	"TestProgramSteadyStateAllocs": true,
 	"TestShardedStepAllocs":        true,
+	"TestStreamIngestAllocs":       true,
 }
 
 // AllocGuardTests returns the registered guard-test names, sorted.

@@ -86,6 +86,12 @@ type Program struct {
 	Paths *pathid.Table
 	// Notify receives anomaly triggers; nil disables notification.
 	Notifier Notifier
+	// OnRecord observes every Ring Table record as the sink pushes it —
+	// the streaming controller's ingest tap. The record is passed by value
+	// (no escape from the zero-alloc forwarding path); nil disables the
+	// tap. The callback runs inside the simulator event loop, so it must
+	// not block and must touch only state owned by this program's shard.
+	OnRecord func(sw topology.NodeID, rec RTRecord)
 	Stats    Stats
 
 	states []switchState
@@ -401,6 +407,9 @@ func (p *Program) OnForward(s *netsim.Simulator, sw topology.NodeID, inPort, out
 				})
 			}
 			st.rt.Push(rec)
+			if p.OnRecord != nil {
+				p.OnRecord(sw, rec)
+			}
 		}
 		// Strip all MARS headers before the host link: monitoring is
 		// transparent to end hosts.

@@ -62,14 +62,32 @@ type ScalePerf struct {
 	ShardMem      []ScaleShardMem `json:"shard_mem"`
 }
 
+// StreamPerf is the streaming-diagnosis tier's sustained-operation
+// baseline: one continuously-diagnosing k-arity trial. Throughput
+// figures are machine-dependent; the detection outcome is not.
+type StreamPerf struct {
+	K             int     `json:"k"`
+	Shards        int     `json:"shards"`
+	Flows         int     `json:"flows"`
+	Epochs        int     `json:"epochs"`
+	WindowEpochs  int     `json:"window_epochs"`
+	Records       int64   `json:"records"`
+	Diagnoses     int64   `json:"diagnoses"`
+	DetectionMs   float64 `json:"detection_ms"` // -1 if the fault was missed
+	WallSeconds   float64 `json:"wall_seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	DiagPerSec    float64 `json:"diagnoses_per_sec"`
+}
+
 // PerfResult is the full sweep, JSON-serializable for BENCH_perf.json.
 type PerfResult struct {
 	// Note flags the machine sensitivity for anyone diffing baselines.
-	Note  string     `json:"note"`
-	Seed  int64      `json:"seed"`
-	Fault string     `json:"fault"`
-	Rows  []PerfRow  `json:"rows"`
-	Scale *ScalePerf `json:"scale,omitempty"`
+	Note   string      `json:"note"`
+	Seed   int64       `json:"seed"`
+	Fault  string      `json:"fault"`
+	Rows   []PerfRow   `json:"rows"`
+	Scale  *ScalePerf  `json:"scale,omitempty"`
+	Stream *StreamPerf `json:"stream,omitempty"`
 }
 
 // RunPerf measures with default engine options.
@@ -146,6 +164,29 @@ func (r *PerfResult) AddScale(tc TrialConfig) {
 	r.Scale = sp
 }
 
+// AddStream runs the streaming-diagnosis trial described by tc and
+// attaches its sustained throughput and detection latency.
+func (r *PerfResult) AddStream(tc StreamTrialConfig) {
+	st := RunStreamTrial(tc, nil)
+	sp := &StreamPerf{
+		K:             st.K,
+		Shards:        st.Shards,
+		Flows:         st.Flows,
+		Epochs:        st.Epochs,
+		WindowEpochs:  st.PrimaryWindow,
+		Records:       st.RecordsDrained,
+		WallSeconds:   st.WallSeconds,
+		RecordsPerSec: st.RecordsPerSec,
+		DiagPerSec:    st.DiagPerSec,
+		Diagnoses:     st.Diagnoses,
+		DetectionMs:   -1,
+	}
+	if st.DetectionEpoch >= 0 {
+		sp.DetectionMs = float64(st.DetectionLatency) / float64(1e6)
+	}
+	r.Stream = sp
+}
+
 // JSON renders the machine-readable baseline (the BENCH_perf.json format).
 func (r *PerfResult) JSON() string {
 	b, err := json.MarshalIndent(r, "", "  ")
@@ -171,6 +212,10 @@ func (r *PerfResult) Render() string {
 	if s := r.Scale; s != nil {
 		fmt.Fprintf(&b, "scale: k=%d shards=%d packets=%d events=%d wall=%.2fs pkts/s=%.0f events/s=%.0f\n",
 			s.K, s.Shards, s.Packets, s.Events, s.WallSeconds, s.PacketsPerSec, s.EventsPerSec)
+	}
+	if s := r.Stream; s != nil {
+		fmt.Fprintf(&b, "stream: k=%d shards=%d records=%d wall=%.2fs records/s=%.0f diagnoses/s=%.0f detection=%.0fms\n",
+			s.K, s.Shards, s.Records, s.WallSeconds, s.RecordsPerSec, s.DiagPerSec, s.DetectionMs)
 	}
 	return b.String()
 }

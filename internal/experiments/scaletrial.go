@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"runtime"
@@ -205,9 +206,14 @@ func (r *ScaleTrialResult) TimingLine() string {
 
 // ScaleHeartbeat builds the -progress callback for the scale tier: one
 // stderr line per observed barrier epoch with the per-shard cumulative
-// event counts, so long k=32 runs show liveness and load balance.
+// event counts, so long k=32 runs show liveness and load balance. The
+// line is formatted into a buffer and flushed as one write per tick —
+// the %v of a per-shard slice otherwise fragments into dozens of
+// unbuffered stderr writes on every barrier round.
 func ScaleHeartbeat(w io.Writer) netsim.ShardProgress {
+	bw := bufio.NewWriter(w)
 	return func(now netsim.Time, events []int64) {
-		fmt.Fprintf(w, "scale-progress: t=%v shard-events=%v\n", now, events)
+		fmt.Fprintf(bw, "scale-progress: t=%v shard-events=%v\n", now, events)
+		bw.Flush()
 	}
 }

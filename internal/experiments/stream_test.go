@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"testing"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/rca"
+	"mars/internal/stream"
+	"mars/internal/topology"
+)
+
+// testStreamConfig is a small-but-real trial: k=4 fabric, enough traffic
+// and fault duration for the drop pipeline to clear its support floors.
+func testStreamConfig(seed int64, shards, workers int) StreamTrialConfig {
+	tc := DefaultStreamTrialConfig(4, shards, seed)
+	tc.Workers = workers
+	tc.NumFlows = 64
+	tc.RatePPS = 120
+	tc.Epochs = 12
+	tc.FaultStart = 4
+	tc.FaultStop = 9
+	tc.DropProb = 0.3
+	tc.Windows = []int{3, 2}
+	return tc
+}
+
+// The driver's stdout surface must be byte-identical for any simulator
+// shard count and any stream worker count.
+func TestStreamTrialShardWorkerInvariance(t *testing.T) {
+	base := RunStreamTrial(testStreamConfig(42, 1, 1), nil)
+	out := base.Render()
+	for _, tc := range []struct{ shards, workers int }{{2, 1}, {4, 1}, {1, 4}, {3, 7}} {
+		got := RunStreamTrial(testStreamConfig(42, tc.shards, tc.workers), nil).Render()
+		if got != out {
+			t.Errorf("shards=%d workers=%d diverges from shards=1 workers=1:\n--- base ---\n%s--- got ---\n%s",
+				tc.shards, tc.workers, out, got)
+		}
+	}
+}
+
+// The trial must actually detect the injected silent drop: a drop culprit
+// containing the faulted aggregation switch within the top 3 of some
+// window, with positive latency from the fault start.
+func TestStreamTrialDetectsFault(t *testing.T) {
+	r := RunStreamTrial(testStreamConfig(42, 2, 2), nil)
+	if r.DetectionEpoch < 0 {
+		t.Fatalf("fault never detected:\n%s", r.Render())
+	}
+	if r.DetectionEpoch < int(r.FaultStart) {
+		t.Fatalf("detection epoch %d precedes fault start %d", r.DetectionEpoch, r.FaultStart)
+	}
+	if r.DetectionLatency <= 0 {
+		t.Fatalf("non-positive detection latency %v", r.DetectionLatency)
+	}
+	if r.RecordsDrained == 0 {
+		t.Fatal("no sink records drained")
+	}
+}
+
+// flatThresholds is the batch comparison's stand-in for the controller's
+// reservoirs: the paper's deliberately high default for unknown flows.
+type flatThresholds struct{}
+
+func (flatThresholds) ThresholdOf(dataplane.FlowID) netsim.Time {
+	return 10 * netsim.Second
+}
+
+// The windowed streaming path must converge to the batch path's verdict:
+// one analyzer over the full record trace (the post-hoc diagnosis) and
+// the stream's cross-window merge must blame the same top-1 switch.
+func TestStreamMatchesBatchTop1(t *testing.T) {
+	var all []dataplane.RTRecord
+	tc := testStreamConfig(42, 1, 1)
+	// Static fault: on for the entire run, the convergence setting — both
+	// paths see the same sustained deficit against their cumulative margin.
+	tc.FaultStart = 0
+	tc.FaultStop = uint32(tc.Epochs) + 2
+	tc.Tee = func(rec dataplane.RTRecord) { all = append(all, rec) }
+
+	// Re-run the primary service standalone to read its merged list (the
+	// driver reports only the rendered surface).
+	r := RunStreamTrial(tc, nil)
+	if len(all) == 0 {
+		t.Fatal("tee saw no records")
+	}
+
+	ft, err := topology.NewFatTree(tc.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := selectivePathTable(ft, streamMeshPairs(ft, tc.NumFlows))
+
+	scfg := stream.DefaultConfig(tc.Seed)
+	scfg.Epoch = tc.Epoch
+	scfg.WindowEpochs = tc.Windows[0]
+	svc := stream.New(scfg, ft.PodPartition(), table)
+	// Replay in drain order, sealing as the stream advances: once a record
+	// of epoch e appears, every record of epoch <= e-2 has already drained
+	// (the one-epoch lateness bound), so e-1 and older may finalize.
+	cur := uint32(0)
+	for _, rec := range all {
+		if rec.Epoch > cur {
+			svc.CloseEpoch(rec.Epoch - 1)
+			cur = rec.Epoch
+		}
+		svc.Ingest(rec)
+	}
+	svc.Finish()
+	if len(svc.Results()) == 0 {
+		t.Fatalf("stream produced no windows:\n%s", r.Render())
+	}
+
+	// Batch verdict: one diagnosis over the entire trace with a recent
+	// window covering the whole run.
+	rcfg := rca.DefaultConfig()
+	rcfg.EpochDuration = tc.Epoch
+	rcfg.RecentWindow = netsim.Time(tc.Epochs+1) * tc.Epoch
+	an := rca.New(rcfg, table, flatThresholds{})
+	batch := an.AnalyzeWindow(all, netsim.Time(tc.Epochs+1)*tc.Epoch, 1)
+	if len(batch) == 0 {
+		t.Fatal("batch analyzer produced no culprits")
+	}
+
+	if !batch[0].ContainsSwitch(r.Culprit) {
+		t.Fatalf("batch top-1 %v does not blame ground truth s%d", batch[0], r.Culprit)
+	}
+
+	// Convergence: once the reservoir thresholds and affected-flow sets
+	// stabilize, a window's top-1 must reach the batch verdict exactly —
+	// same cause, same location.
+	converged := false
+	for _, w := range svc.Results() {
+		if len(w.Culprits) == 0 {
+			continue
+		}
+		c := w.Culprits[0]
+		if c.Cause == batch[0].Cause && c.Level == batch[0].Level &&
+			topology.Path(c.Location).String() == topology.Path(batch[0].Location).String() {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		var got []string
+		for _, w := range svc.Results() {
+			if len(w.Culprits) > 0 {
+				got = append(got, w.Culprits[0].String())
+			}
+		}
+		t.Fatalf("no window top-1 converged to the batch verdict %v; window tops: %v", batch[0], got)
+	}
+}

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"testing"
+
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// warmService builds a service whose steady-state ingest path is fully
+// warmed: flows admitted, reservoirs at volume (scratch buffers at
+// capacity), the current epoch bucket full so the sampler runs the
+// replacement branch.
+func warmService(tb testing.TB, epochs uint32) (*Service, *testFabric) {
+	tb.Helper()
+	f := newTestFabric(tb)
+	cfg := DefaultConfig(21)
+	cfg.EpochSampleCap = 4
+	s := New(cfg, f.part, f.table)
+	paths := f.pathsInto(tb, f.ft.EdgeIDs[0])
+	for e := uint32(0); e < epochs; e++ {
+		for _, p := range paths {
+			for i := 0; i < 40; i++ {
+				s.Ingest(f.rec(tb, p, e, netsim.Millisecond, 0))
+			}
+		}
+		if e+1 < epochs {
+			s.CloseEpoch(e)
+		}
+	}
+	return s, f
+}
+
+// TestStreamIngestAllocs pins the steady-state ingest hot path at zero
+// allocations per record: flow lookup, reservoir input (scratch-buffer
+// refresh), path decode, and Algorithm-R replacement must all run
+// allocation-free once warm.
+func TestStreamIngestAllocs(t *testing.T) {
+	s, f := warmService(t, 4)
+	p := f.pathsInto(t, f.ft.EdgeIDs[0])[0]
+	rec := f.rec(t, p, 3, netsim.Millisecond, 0)
+	avg := testing.AllocsPerRun(200, func() {
+		s.Ingest(rec)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Ingest allocates %.1f/op, want 0", avg)
+	}
+}
+
+// BenchmarkStreamStep drives the full streaming step — ingest one epoch's
+// records, seal the epoch, analyze the sliding window — the figure behind
+// the sustained diagnosis throughput claim.
+func BenchmarkStreamStep(b *testing.B) {
+	f := newTestFabric(b)
+	paths := f.pathsInto(b, f.ft.EdgeIDs[0])
+	badAgg := f.ft.AggIDs[0]
+	cfg := DefaultConfig(33)
+	cfg.WindowEpochs = 4
+	s := New(cfg, f.part, f.table)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := uint32(i)
+		for _, p := range paths {
+			gap := uint32(0)
+			if p.Contains([]topology.NodeID{badAgg}) && e%7 >= 5 {
+				gap = 1
+			}
+			for r := 0; r < 8; r++ {
+				s.Ingest(f.rec(b, p, e, netsim.Millisecond, gap))
+			}
+		}
+		s.CloseEpoch(e + 1)
+	}
+}

@@ -1,0 +1,576 @@
+// Package stream is the always-on diagnosis service: it turns the batch
+// controlplane+rca pipeline into a continuously-running consumer of sink
+// telemetry with bounded per-flow memory and a live metrics surface.
+//
+// Shape (§ DESIGN.md 14):
+//
+//	ingest → bounded flow state → sliding-window incremental mining → merge
+//
+// Records tap out of the data plane through Program.OnRecord and are
+// routed to a per-unit state shard keyed by the sink switch's
+// topology.PodPartition unit — the same partition the sharded simulator
+// uses, which is what makes the stream's output invariant under the
+// engine's shard count: each unit's record sequence is produced by exactly
+// one owning shard in deterministic event order.
+//
+// Memory is O(budget), not O(flows): per-flow latency reservoirs live
+// under a hard byte budget with least-recently-active eviction, and each
+// epoch's records pass through a PINT-style bounded reservoir sample, so a
+// unit retains at most EpochSampleCap records per epoch regardless of how
+// many flows terminate there.
+//
+// Every closed window re-scores through the unchanged rca pipeline; the
+// fsm.Incremental index updates by epoch deltas instead of re-mining, and
+// per-unit culprit lists merge under the PR 1 Confidence rules
+// (rca.MergeRanked) with the window's sampling coverage as confidence.
+package stream
+
+import (
+	"math/rand"
+	"sync"
+
+	"mars/internal/dataplane"
+	"mars/internal/fsm"
+	"mars/internal/metrics"
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/rca"
+	"mars/internal/reservoir"
+	"mars/internal/topology"
+)
+
+// Config parameterizes the stream service.
+type Config struct {
+	// Epoch mirrors the data plane's telemetry epoch.
+	Epoch netsim.Time
+	// WindowEpochs is the sliding window length W; every finalized epoch
+	// closes the window that ends on it (slide of one epoch).
+	WindowEpochs int
+	// BudgetBytes is the hard per-unit budget for per-flow state. When a
+	// new flow would exceed it, the least-recently-active flow is evicted
+	// (its threshold falls back to the reservoir default on return).
+	BudgetBytes int
+	// EpochSampleCap bounds the records a unit retains per epoch; beyond
+	// it, Algorithm-R reservoir replacement keeps a uniform sample.
+	EpochSampleCap int
+	// Workers bounds the per-window analysis parallelism across units.
+	// Output is byte-identical for any value (results gather at unit
+	// index and merge in unit order). <=1 means inline.
+	Workers int
+	// Seed drives the per-unit sampling RNG streams.
+	Seed int64
+	// RCA configures the per-window scorer. Miner is overridden per unit
+	// with the incremental window index; RecentWindow and EpochDuration
+	// are aligned to the window geometry if left zero.
+	RCA rca.Config
+	// Reservoir configures the per-flow latency reservoirs.
+	Reservoir reservoir.Config
+}
+
+// DefaultConfig returns the stream evaluation setup: 100 ms epochs, a
+// 4-epoch window, 64 KB of flow state and 128 sampled records per epoch
+// per unit.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Epoch:          100 * netsim.Millisecond,
+		WindowEpochs:   4,
+		BudgetBytes:    64 << 10,
+		EpochSampleCap: 128,
+		Workers:        1,
+		Seed:           seed,
+		RCA:            rca.DefaultConfig(),
+		Reservoir:      reservoir.DefaultConfig(),
+	}
+}
+
+// Deterministic byte-accounting constants (documented estimates, not
+// unsafe.Sizeof, so the resident-bytes metric is platform-invariant).
+const (
+	// flowStateOverheadBytes covers the flowState struct, map entry, and
+	// reservoir bookkeeping beyond the sample slice.
+	flowStateOverheadBytes = 128
+	// sampleEntryBytes covers one retained record plus its decoded-path
+	// and sequence headers.
+	sampleEntryBytes = 160
+)
+
+// WindowResult is one closed window's merged diagnosis.
+type WindowResult struct {
+	// Start, End are the window's first and last epoch (inclusive).
+	Start, End uint32
+	// Time is the simulated end of the window.
+	Time netsim.Time
+	// Culprits is the ranked list merged across units (rca.MergeRanked).
+	Culprits []rca.Culprit
+	// Sampled, Offered aggregate the window's record sampling across
+	// units; Sampled/Offered is the coverage behind the confidences.
+	Sampled, Offered int
+}
+
+// Service is the streaming diagnosis pipeline. Ingest and CloseEpoch must
+// be called from one goroutine (the coordinator); window analysis fans out
+// to Workers goroutines internally.
+type Service struct {
+	cfg   Config
+	part  *topology.Partition
+	units []*unitState
+
+	reg       *metrics.Registry
+	ingested  metrics.Counter
+	late      metrics.Counter
+	sampled   metrics.Counter
+	replaced  metrics.Counter
+	rejected  metrics.Counter
+	evicted   metrics.Counter
+	windows   metrics.Counter
+	diagnoses metrics.Counter
+	churn     metrics.Counter
+	resident  metrics.Gauge
+	flowsRes  metrics.Gauge
+	lag       metrics.Gauge
+
+	// finalizedThrough is the newest epoch whose bucket is sealed and
+	// indexed; -1 before any.
+	finalizedThrough int64
+	// maxEpoch is the newest epoch observed on any record.
+	maxEpoch int64
+	// lastAnalyzed is the end epoch of the newest closed window; -1
+	// before any.
+	lastAnalyzed int64
+
+	results []WindowResult
+	lists   [][]rca.Culprit
+	lastTop string
+
+	// OnWindow, if set, observes every closed window in order.
+	OnWindow func(WindowResult)
+}
+
+// New builds a service over the partition's units. paths decompresses
+// PathIDs for mining (shared, read-only).
+func New(cfg Config, part *topology.Partition, paths *pathid.Table) *Service {
+	if cfg.WindowEpochs < 1 {
+		cfg.WindowEpochs = 1
+	}
+	if cfg.EpochSampleCap < 1 {
+		cfg.EpochSampleCap = 1
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 100 * netsim.Millisecond
+	}
+	if cfg.RCA.EpochDuration <= 0 {
+		cfg.RCA.EpochDuration = cfg.Epoch
+	}
+	if cfg.RCA.RecentWindow <= 0 {
+		cfg.RCA.RecentWindow = netsim.Time(cfg.WindowEpochs) * cfg.Epoch
+	}
+	s := &Service{
+		cfg:              cfg,
+		part:             part,
+		reg:              metrics.NewRegistry(),
+		finalizedThrough: -1,
+		maxEpoch:         -1,
+		lastAnalyzed:     -1,
+	}
+	s.ingested = s.reg.Counter("records_ingested")
+	s.late = s.reg.Counter("records_late")
+	s.sampled = s.reg.Counter("records_sampled")
+	s.replaced = s.reg.Counter("records_replaced")
+	s.rejected = s.reg.Counter("records_rejected")
+	s.evicted = s.reg.Counter("flows_evicted")
+	s.windows = s.reg.Counter("windows_analyzed")
+	s.diagnoses = s.reg.Counter("diagnoses")
+	s.churn = s.reg.Counter("culprit_churn")
+	s.resident = s.reg.Gauge("resident_bytes")
+	s.flowsRes = s.reg.Gauge("flows_resident")
+	s.lag = s.reg.Gauge("window_lag_epochs")
+
+	s.units = make([]*unitState, part.NumUnits)
+	for u := range s.units {
+		s.units[u] = newUnitState(&cfg, u, paths)
+	}
+	return s
+}
+
+// Metrics exposes the live registry (read via Snapshot).
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Results returns the closed windows so far (shared slice; do not mutate).
+func (s *Service) Results() []WindowResult { return s.results }
+
+// Merged folds every closed window's per-unit culprit lists under the
+// cross-diagnosis merge rules: scores accumulate across windows, each
+// culprit keeps the best coverage that supported it.
+func (s *Service) Merged() []rca.Culprit { return rca.MergeRanked(s.lists) }
+
+// Ingest routes one sink record to its unit shard. Records for epochs
+// already sealed are counted late and dropped — determinism requires that
+// a sealed window never reopens.
+func (s *Service) Ingest(rec dataplane.RTRecord) {
+	s.ingested.Inc()
+	if int64(rec.Epoch) <= s.finalizedThrough {
+		s.late.Inc()
+		return
+	}
+	if int64(rec.Epoch) > s.maxEpoch {
+		s.maxEpoch = int64(rec.Epoch)
+	}
+	u := s.units[s.part.UnitOf[rec.Flow.Sink]]
+	kind := u.ingest(rec)
+	switch kind {
+	case ingestSampled:
+		s.sampled.Inc()
+	case ingestReplaced:
+		s.replaced.Inc()
+	case ingestRejected:
+		s.rejected.Inc()
+	}
+	s.evicted.Add(u.takeEvictions())
+}
+
+// CloseEpoch declares that every record arriving up to the end of epoch e
+// has been ingested. Epochs <= e-1 are then complete (a record promoted in
+// epoch x reaches its sink before the end of epoch x+1), so their buckets
+// seal, enter the mining index, and close any window that ends on them.
+func (s *Service) CloseEpoch(e uint32) {
+	for ep := s.finalizedThrough + 1; ep <= int64(e)-1; ep++ {
+		s.finalizeEpoch(uint32(ep))
+	}
+	s.updateGauges()
+}
+
+// Finish seals everything observed, closing the tail windows.
+func (s *Service) Finish() {
+	if s.maxEpoch >= 0 {
+		s.CloseEpoch(uint32(s.maxEpoch) + 2)
+	}
+}
+
+// finalizeEpoch seals epoch ep in every unit, analyzes the window ending
+// on it (once W epochs exist), and expires the bucket leaving the window.
+func (s *Service) finalizeEpoch(ep uint32) {
+	s.finalizedThrough = int64(ep)
+	W := uint32(s.cfg.WindowEpochs)
+	analyze := ep+1 >= W
+	outs := make([]unitWindowOut, len(s.units))
+
+	work := func(u *unitState, out *unitWindowOut) {
+		u.seal(ep)
+		if analyze {
+			*out = u.analyzeWindow(ep+1-W, ep)
+			u.expire(ep + 1 - W)
+		}
+	}
+	workers := s.cfg.Workers
+	if workers > len(s.units) {
+		workers = len(s.units)
+	}
+	if workers <= 1 {
+		for i, u := range s.units {
+			work(u, &outs[i])
+		}
+	} else {
+		// Units are independent state shards; results land at fixed
+		// indices and everything below folds in unit order, so the
+		// schedule cannot reach the output.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			//mars:sync workers stride disjoint unit indices and write into pre-indexed outs slots; everything below folds outs in unit order, so the schedule cannot reach the output (the CI determinism job diffs workers=1 against workers=8)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(s.units); i += workers {
+					work(s.units[i], &outs[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if !analyze {
+		return
+	}
+	res := WindowResult{Start: ep + 1 - W, End: ep, Time: netsim.Time(ep+1) * s.cfg.Epoch}
+	var lists [][]rca.Culprit
+	for _, o := range outs {
+		res.Sampled += o.sampled
+		res.Offered += o.offered
+		if len(o.culprits) > 0 {
+			lists = append(lists, o.culprits)
+			s.lists = append(s.lists, o.culprits)
+		}
+	}
+	res.Culprits = rca.MergeRanked(lists)
+	s.lastAnalyzed = int64(ep)
+	s.windows.Inc()
+	if len(res.Culprits) > 0 {
+		s.diagnoses.Inc()
+		top := res.Culprits[0].String()
+		if s.lastTop != "" && top != s.lastTop {
+			s.churn.Inc()
+		}
+		s.lastTop = top
+	}
+	s.results = append(s.results, res)
+	if s.OnWindow != nil {
+		s.OnWindow(res)
+	}
+}
+
+// updateGauges refreshes the point-in-time surface in unit order.
+func (s *Service) updateGauges() {
+	var bytes, flows int64
+	for _, u := range s.units {
+		bytes += int64(u.flowBytes) + u.bucketBytes()
+		flows += int64(len(u.flows))
+	}
+	s.resident.Set(bytes)
+	s.flowsRes.Set(flows)
+	lag := int64(0)
+	if s.maxEpoch >= 0 && s.maxEpoch > s.lastAnalyzed {
+		// After Finish the last finalized epoch passes maxEpoch (the
+		// grace close); a drained stream reads zero, not negative.
+		lag = s.maxEpoch - s.lastAnalyzed
+	}
+	s.lag.Set(lag)
+}
+
+// FlowBytes returns one unit's current flow-state byte accounting (test
+// hook for the budget bound).
+func (s *Service) FlowBytes(unit int) int { return s.units[unit].flowBytes }
+
+// ingestKind classifies one record's sampling outcome.
+type ingestKind uint8
+
+const (
+	ingestSampled ingestKind = iota
+	ingestReplaced
+	ingestRejected
+)
+
+// unitState is one pod-partition unit's shard of the stream: bounded flow
+// table, epoch sample buckets, incremental pattern index, and a dedicated
+// rca analyzer whose thresholds are this unit's reservoirs. Only its
+// owning goroutine (the coordinator, or the worker analyzing it) touches
+// it.
+type unitState struct {
+	cfg      *Config
+	unit     int
+	rng      *rand.Rand
+	flows    map[dataplane.FlowID]*flowState
+	flowCost int
+	// flowBytes is the accounted size of the flow table.
+	flowBytes int
+	// evictions accumulates since the last takeEvictions.
+	evictions int64
+
+	// ring holds the live epoch buckets: up to W sealed (in-window) plus
+	// two still-filling epochs.
+	ring []*bucket
+
+	inc      *fsm.Incremental
+	analyzer *rca.Analyzer
+}
+
+type flowState struct {
+	res       *reservoir.Reservoir
+	lastEpoch uint32
+}
+
+type sampleEntry struct {
+	rec  dataplane.RTRecord
+	path topology.Path
+	// seq is the path converted for the mining index, built at seal time.
+	seq fsm.Sequence
+}
+
+type bucket struct {
+	epoch   uint32
+	used    bool
+	sealed  bool
+	offered int
+	entries []sampleEntry
+}
+
+func newUnitState(cfg *Config, unit int, paths *pathid.Table) *unitState {
+	u := &unitState{
+		cfg:      cfg,
+		unit:     unit,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(unit+1)*0x9e3779b97f4a7c15))),
+		flows:    make(map[dataplane.FlowID]*flowState),
+		flowCost: cfg.Reservoir.Volume*8 + flowStateOverheadBytes,
+		ring:     make([]*bucket, cfg.WindowEpochs+2),
+		inc:      fsm.NewIncremental(cfg.RCA.MaxPatternLen),
+	}
+	for i := range u.ring {
+		u.ring[i] = &bucket{entries: make([]sampleEntry, 0, cfg.EpochSampleCap)}
+	}
+	rcfg := cfg.RCA
+	rcfg.Miner = u.inc.Miner()
+	u.analyzer = rca.New(rcfg, paths, u)
+	return u
+}
+
+// ThresholdOf implements rca.Thresholds from the unit's live reservoirs.
+func (u *unitState) ThresholdOf(flow dataplane.FlowID) netsim.Time {
+	if fs, ok := u.flows[flow]; ok {
+		return netsim.Time(fs.res.Threshold())
+	}
+	return netsim.Time(u.cfg.Reservoir.DefaultThreshold)
+}
+
+// slot returns the ring bucket for epoch ep, recycling an expired slot
+// when the ring wraps.
+func (u *unitState) slot(ep uint32) *bucket {
+	b := u.ring[int(ep)%len(u.ring)]
+	if !b.used || b.epoch != ep {
+		b.epoch = ep
+		b.used = true
+		b.sealed = false
+		b.offered = 0
+		b.entries = b.entries[:0]
+	}
+	return b
+}
+
+// ingest feeds one record: flow state first (every observation counts
+// toward the threshold), then the epoch sample (Algorithm R).
+func (u *unitState) ingest(rec dataplane.RTRecord) ingestKind {
+	fs := u.flows[rec.Flow]
+	if fs == nil {
+		fs = u.admitFlow(rec.Flow)
+	}
+	fs.res.Input(float64(rec.Latency))
+	if rec.Epoch > fs.lastEpoch {
+		fs.lastEpoch = rec.Epoch
+	}
+
+	b := u.slot(rec.Epoch)
+	b.offered++
+	var path topology.Path
+	if u.analyzer.Paths != nil {
+		path, _ = u.analyzer.Paths.Lookup(rec.Flow.Sink, rec.PathID)
+	}
+	if len(b.entries) < cap(b.entries) {
+		b.entries = append(b.entries, sampleEntry{rec: rec, path: path})
+		return ingestSampled
+	}
+	if j := u.rng.Intn(b.offered); j < cap(b.entries) {
+		b.entries[j] = sampleEntry{rec: rec, path: path}
+		return ingestReplaced
+	}
+	return ingestRejected
+}
+
+// admitFlow creates flow state under the byte budget, evicting the
+// least-recently-active flows first.
+func (u *unitState) admitFlow(flow dataplane.FlowID) *flowState {
+	for u.flowBytes+u.flowCost > u.cfg.BudgetBytes && len(u.flows) > 0 {
+		u.evictColdest()
+	}
+	fs := &flowState{res: reservoir.New(u.cfg.Reservoir, u.rng)}
+	u.flows[flow] = fs
+	u.flowBytes += u.flowCost
+	return fs
+}
+
+// evictColdest removes the least-recently-active flow (ties broken by
+// flow ID), so eviction order is a pure function of the ingest sequence.
+func (u *unitState) evictColdest() {
+	var victim dataplane.FlowID
+	first := true
+	for f, fs := range u.flows { //mars:mapiter-ok deterministic argmin under the total order (lastEpoch, Src, Sink); iteration order cannot change the minimum
+		if first || less(fs.lastEpoch, f, u.flows[victim].lastEpoch, victim) {
+			victim, first = f, false
+		}
+	}
+	delete(u.flows, victim)
+	u.flowBytes -= u.flowCost
+	u.evictions++
+}
+
+func less(aEpoch uint32, a dataplane.FlowID, bEpoch uint32, b dataplane.FlowID) bool {
+	if aEpoch != bEpoch {
+		return aEpoch < bEpoch
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Sink < b.Sink
+}
+
+func (u *unitState) takeEvictions() int64 {
+	n := u.evictions
+	u.evictions = 0
+	return n
+}
+
+// seal freezes epoch ep's sample and adds its paths to the window index.
+func (u *unitState) seal(ep uint32) {
+	b := u.slot(ep)
+	b.sealed = true
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.seq = e.seq[:0]
+		for _, sw := range e.path {
+			e.seq = append(e.seq, fsm.Item(sw))
+		}
+		u.inc.Add(e.seq)
+	}
+}
+
+// expire removes epoch ep's paths from the index as the window slides off.
+func (u *unitState) expire(ep uint32) {
+	b := u.ring[int(ep)%len(u.ring)]
+	if !b.used || b.epoch != ep || !b.sealed {
+		return
+	}
+	for i := range b.entries {
+		u.inc.Remove(b.entries[i].seq)
+	}
+	b.sealed = false
+}
+
+type unitWindowOut struct {
+	culprits         []rca.Culprit
+	sampled, offered int
+}
+
+// analyzeWindow scores the sealed window [start, end] through the rca
+// pipeline with this unit's thresholds and window index.
+func (u *unitState) analyzeWindow(start, end uint32) unitWindowOut {
+	var out unitWindowOut
+	var records []dataplane.RTRecord
+	for ep := start; ep <= end; ep++ {
+		b := u.ring[int(ep)%len(u.ring)]
+		if !b.used || b.epoch != ep {
+			continue
+		}
+		out.offered += b.offered
+		out.sampled += len(b.entries)
+		for i := range b.entries {
+			records = append(records, b.entries[i].rec)
+		}
+	}
+	if len(records) == 0 {
+		return out
+	}
+	coverage := 1.0
+	if out.offered > 0 {
+		coverage = float64(out.sampled) / float64(out.offered)
+	}
+	now := netsim.Time(end+1) * u.cfg.Epoch
+	out.culprits = u.analyzer.AnalyzeWindow(records, now, coverage)
+	return out
+}
+
+// bucketBytes is the accounted size of the retained window samples.
+func (u *unitState) bucketBytes() int64 {
+	var n int64
+	for _, b := range u.ring {
+		if b.used {
+			n += int64(len(b.entries)) * sampleEntryBytes
+		}
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/pathid"
+	"mars/internal/rca"
+	"mars/internal/topology"
+)
+
+// testFabric is a k=4 fat tree with a full path table, shared by the
+// synthetic-ingest tests.
+type testFabric struct {
+	ft    *topology.FatTree
+	part  *topology.Partition
+	table *pathid.Table
+}
+
+func newTestFabric(t testing.TB) *testFabric {
+	t.Helper()
+	ft, err := topology.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := pathid.BuildTable(pathid.DefaultConfig(), ft.Topology, ft.AllEdgePairPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testFabric{ft: ft, part: ft.PodPartition(), table: table}
+}
+
+// rec fabricates one sink record for the flow src→sink over path (which
+// must terminate at sink).
+func (f *testFabric) rec(t testing.TB, path topology.Path, epoch uint32, lat netsim.Time, gap uint32) dataplane.RTRecord {
+	t.Helper()
+	id, ok := f.table.FinalID(path)
+	if !ok {
+		t.Fatalf("path %v has no table ID", path)
+	}
+	flow := dataplane.FlowID{Src: path[0], Sink: path[len(path)-1]}
+	return dataplane.RTRecord{
+		Flow:        flow,
+		PathID:      id,
+		Epoch:       epoch,
+		Latency:     lat,
+		SourceCount: 6,
+		SinkCount:   6,
+		PathCount:   6,
+		EpochGap:    gap,
+		Arrival:     netsim.Time(epoch)*100*netsim.Millisecond + 5*netsim.Millisecond,
+	}
+}
+
+// pathsInto returns one cross-pod path per remote source edge into
+// dstEdge — one flow pinned to one path, like per-flow ECMP — cycling
+// through the path alternatives so the flows spread across both
+// aggregation switches of the destination pod.
+func (f *testFabric) pathsInto(t testing.TB, dstEdge topology.NodeID) []topology.Path {
+	t.Helper()
+	var out []topology.Path
+	i := 0
+	for _, src := range f.ft.EdgeIDs {
+		if src == dstEdge || f.ft.PodOf(src) == f.ft.PodOf(dstEdge) {
+			continue
+		}
+		ps := f.ft.AllShortestPaths(src, dstEdge)
+		out = append(out, ps[i%len(ps)])
+		i++
+	}
+	if len(out) == 0 {
+		t.Fatal("no cross-pod paths found")
+	}
+	return out
+}
+
+func snapshotOf(s *Service) string {
+	var b strings.Builder
+	b.WriteString(s.Metrics().Snapshot())
+	b.WriteByte('\n')
+	for _, w := range s.Results() {
+		fmt.Fprintf(&b, "window [%d,%d] t=%v sampled=%d/%d\n", w.Start, w.End, w.Time, w.Sampled, w.Offered)
+		for _, c := range w.Culprits {
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+	}
+	for _, c := range s.Merged() {
+		fmt.Fprintf(&b, "merged %s\n", c)
+	}
+	return b.String()
+}
+
+// driveFaulted pushes a deterministic synthetic schedule: steady traffic
+// into one sink pod, with epoch-gap drop evidence on every path through
+// one aggregation switch during [faultFrom, faultTo].
+func driveFaulted(t testing.TB, f *testFabric, s *Service, epochs int, faultFrom, faultTo uint32, badAgg topology.NodeID) {
+	t.Helper()
+	dst := f.ft.EdgeIDs[0]
+	paths := f.pathsInto(t, dst)
+	for e := uint32(0); int(e) < epochs; e++ {
+		for _, p := range paths {
+			gap := uint32(0)
+			if e >= faultFrom && e <= faultTo && p.Contains([]topology.NodeID{badAgg}) {
+				gap = 1
+			}
+			s.Ingest(f.rec(t, p, e, 2*netsim.Millisecond, gap))
+		}
+		s.CloseEpoch(e)
+	}
+	s.Finish()
+}
+
+// The per-flow byte budget is a hard bound: however many flows terminate
+// in a unit, its accounted flow state never exceeds BudgetBytes, and the
+// overflow shows up as evictions.
+func TestStreamBudgetBound(t *testing.T) {
+	f := newTestFabric(t)
+	cfg := DefaultConfig(7)
+	cfg.Reservoir.Volume = 16
+	flowCost := cfg.Reservoir.Volume*8 + flowStateOverheadBytes
+	cfg.BudgetBytes = 3 * flowCost // room for three flows per unit
+	s := New(cfg, f.part, f.table)
+
+	dst := f.ft.EdgeIDs[0]
+	unit := int(f.part.UnitOf[dst])
+	paths := f.pathsInto(t, dst) // 6 distinct source edges x multipath
+	if len(paths) < 6 {
+		t.Fatalf("want >=6 paths, got %d", len(paths))
+	}
+	for e := uint32(0); e < 6; e++ {
+		for _, p := range paths {
+			s.Ingest(f.rec(t, p, e, netsim.Millisecond, 0))
+			if got := s.FlowBytes(unit); got > cfg.BudgetBytes {
+				t.Fatalf("epoch %d: flow bytes %d exceed budget %d", e, got, cfg.BudgetBytes)
+			}
+		}
+		s.CloseEpoch(e)
+	}
+	s.Finish()
+	if v, _ := s.Metrics().Get("flows_evicted"); v == 0 {
+		t.Fatal("expected evictions under a 3-flow budget with 6 source edges")
+	}
+	if v, _ := s.Metrics().Get("flows_resident"); v > int64(3*f.part.NumUnits) {
+		t.Fatalf("flows_resident = %d, exceeds 3 per unit", v)
+	}
+}
+
+// One ingest sequence, any worker count: the whole observable surface
+// (windows, culprits, merged list, metrics) must be byte-identical.
+func TestStreamWorkerInvariance(t *testing.T) {
+	f := newTestFabric(t)
+	badAgg := f.ft.AggIDs[2]
+	run := func(workers int) string {
+		cfg := DefaultConfig(11)
+		cfg.WindowEpochs = 3
+		cfg.Workers = workers
+		s := New(cfg, f.part, f.table)
+		driveFaulted(t, f, s, 10, 4, 9, badAgg)
+		return snapshotOf(s)
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 13} {
+		if got := run(w); got != base {
+			t.Fatalf("workers=%d diverges from workers=1:\n--- w=1 ---\n%s--- w=%d ---\n%s", w, base, w, got)
+		}
+	}
+	if !strings.Contains(base, "drop") {
+		t.Fatalf("expected a drop culprit in the faulted run:\n%s", base)
+	}
+}
+
+// Same schedule, same seed → byte-identical output (seeded determinism of
+// the sampling and eviction paths).
+func TestStreamRunDeterminism(t *testing.T) {
+	f := newTestFabric(t)
+	run := func() string {
+		cfg := DefaultConfig(5)
+		cfg.EpochSampleCap = 8 // force sampler replacement activity
+		s := New(cfg, f.part, f.table)
+		driveFaulted(t, f, s, 8, 3, 7, f.ft.AggIDs[1])
+		return snapshotOf(s)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two identical runs diverge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// A fault straddling two windows must be diagnosed in both: the window
+// that closes on the fault's first epochs and the next one that slides
+// over its tail, and the cross-window merge must carry it.
+func TestStreamWindowSlideBoundary(t *testing.T) {
+	f := newTestFabric(t)
+	cfg := DefaultConfig(3)
+	cfg.WindowEpochs = 2
+	s := New(cfg, f.part, f.table)
+	badAgg := f.ft.AggIDs[0]
+	// Fault in epochs 2..3: window [2,3] sees both epochs; windows [1,2]
+	// and [3,4] each straddle one boundary epoch.
+	driveFaulted(t, f, s, 6, 2, 3, badAgg)
+
+	blames := func(w WindowResult) bool {
+		for _, c := range w.Culprits {
+			if c.Cause == rca.CauseDrop && c.ContainsSwitch(badAgg) {
+				return true
+			}
+		}
+		return false
+	}
+	var hits []string
+	for _, w := range s.Results() {
+		if blames(w) {
+			hits = append(hits, fmt.Sprintf("[%d,%d]", w.Start, w.End))
+		}
+	}
+	if len(hits) < 2 {
+		t.Fatalf("fault found in %d window(s) %v; want it in both straddling windows", len(hits), hits)
+	}
+	merged := s.Merged()
+	if len(merged) == 0 || !merged[0].ContainsSwitch(badAgg) {
+		t.Fatalf("merged top-1 does not blame s%d: %v", badAgg, merged)
+	}
+}
+
+// Late records (arriving after their epoch sealed) must be counted and
+// dropped, never reopening a closed window.
+func TestStreamLateRecordsDropped(t *testing.T) {
+	f := newTestFabric(t)
+	s := New(DefaultConfig(1), f.part, f.table)
+	dst := f.ft.EdgeIDs[0]
+	p := f.pathsInto(t, dst)[0]
+	for e := uint32(0); e < 5; e++ {
+		s.Ingest(f.rec(t, p, e, netsim.Millisecond, 0))
+		s.CloseEpoch(e)
+	}
+	// Epochs <= 3 are sealed now; epoch 1 is long gone.
+	s.Ingest(f.rec(t, p, 1, netsim.Millisecond, 0))
+	if v, _ := s.Metrics().Get("records_late"); v != 1 {
+		t.Fatalf("records_late = %d, want 1", v)
+	}
+}
+
+// The epoch sampler is a hard cap: a unit never retains more than
+// EpochSampleCap records per epoch, and the coverage fraction reflects
+// what was dropped.
+func TestStreamEpochSampleCap(t *testing.T) {
+	f := newTestFabric(t)
+	cfg := DefaultConfig(9)
+	cfg.WindowEpochs = 2
+	cfg.EpochSampleCap = 4
+	s := New(cfg, f.part, f.table)
+	dst := f.ft.EdgeIDs[0]
+	paths := f.pathsInto(t, dst)
+	for e := uint32(0); e < 4; e++ {
+		for _, p := range paths {
+			for i := 0; i < 3; i++ {
+				s.Ingest(f.rec(t, p, e, netsim.Millisecond, 0))
+			}
+		}
+		s.CloseEpoch(e)
+	}
+	s.Finish()
+	offered := int64(0)
+	for _, w := range s.Results() {
+		if w.Sampled > cfg.EpochSampleCap*cfg.WindowEpochs*f.part.NumUnits {
+			t.Fatalf("window [%d,%d] sampled %d records, cap is %d/epoch/unit",
+				w.Start, w.End, w.Sampled, cfg.EpochSampleCap)
+		}
+		offered += int64(w.Offered)
+	}
+	if rep, _ := s.Metrics().Get("records_replaced"); rep == 0 {
+		t.Fatal("sampler never replaced despite overflow")
+	}
+	if rej, _ := s.Metrics().Get("records_rejected"); rej == 0 {
+		t.Fatal("sampler never rejected despite overflow")
+	}
+	if offered == 0 {
+		t.Fatal("no records offered")
+	}
+}
