@@ -52,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"mars/internal/deploy"
 	"mars/internal/experiments"
 	"mars/internal/harness"
 	"mars/internal/netsim"
@@ -178,6 +179,12 @@ func main() {
 			res := experiments.RunPerfWith(opts, *trials/4+1, *seed)
 			res.AddScale(experiments.DefaultScaleTrialConfig(*arity, *shards, *seed))
 			res.AddStream(experiments.DefaultStreamTrialConfig(*arity, *shards, *seed))
+			dp, err := deploy.PerfSection(deploy.DefaultScenario())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "perf: deploy tier failed: %v\n", err)
+				os.Exit(1)
+			}
+			res.Deploy = dp
 			fmt.Print(res.JSON())
 			fmt.Fprint(os.Stderr, res.Render())
 		},

@@ -62,6 +62,23 @@ type Config struct {
 	Decoder RecordDecoder
 }
 
+// Clock is the controller's scheduling seam. In the simulator it is the
+// discrete-event heap itself (*netsim.Simulator implements it directly and
+// callbacks run at virtual times); in the real-process deployment mode it
+// is a serialized wall-clock run loop (internal/rtclock) whose Time values
+// are nanoseconds since process start. The controller never compares its
+// clock against record arrival stamps — recency anchoring uses the
+// data-plane's own timeline via Diagnosis.AsOf — so the two interpretations
+// never mix.
+type Clock interface {
+	// Now returns the current time on the clock's timeline.
+	Now() netsim.Time
+	// After runs fn once, d after Now.
+	After(d netsim.Time, fn func())
+	// At runs fn once at absolute time t (immediately if t has passed).
+	At(t netsim.Time, fn func())
+}
+
 // RecordDecoder reconstructs a collected telemetry snapshot. The second
 // return of DecodeRecords is the per-record reconstruction confidence in
 // [0,1], aligned with the returned records; RCA folds its mean into
@@ -100,6 +117,12 @@ type Diagnosis struct {
 	Trigger dataplane.Notification
 	Records []dataplane.RTRecord
 	Time    netsim.Time
+	// AsOf is the newest snapshot stamp among the collect responses (the
+	// data-plane timeline moment the collected records are current as of).
+	// Zero in the simulator, where collection is synchronous and Time
+	// already sits on the data's timeline; the deployment mode's analyzer
+	// anchors record recency to AsOf instead of the controller's wall clock.
+	AsOf netsim.Time
 	// Requested is how many edge switches the collection contacted.
 	Requested int
 	// MissingSinks lists the edge switches that never responded within
@@ -184,6 +207,8 @@ type collection struct {
 	missing   []topology.NodeID
 	requested int
 	finished  bool
+	// asOf tracks the newest response Stamp (zero on the in-sim path).
+	asOf netsim.Time
 }
 
 // collectReq tracks one outstanding collection request attempt.
@@ -197,6 +222,16 @@ type collectReq struct {
 type refreshReq struct {
 	sw      topology.NodeID
 	attempt int
+}
+
+// noteKey deduplicates notification deliveries. The sequence number alone
+// is not enough: in the multi-process deployment every switch process mints
+// its own Seq stream, so streams from different switches collide. In the
+// simulator the controller mints every Seq from one global counter, making
+// the (switch, seq) pair exactly as unique as the bare seq was.
+type noteKey struct {
+	sw  topology.NodeID
+	seq uint64
 }
 
 // pushKey identifies a per-switch per-flow threshold installation.
@@ -227,8 +262,8 @@ type Controller struct {
 	// OnDiagnosis receives each collected diagnosis (the RCA entry point).
 	OnDiagnosis func(d Diagnosis)
 
-	sim        *netsim.Simulator
-	ch         *ctrlchan.Channel
+	clock      Clock
+	tr         ctrlchan.Transport
 	rng        *rand.Rand
 	reservoirs map[dataplane.FlowID]*reservoir.Reservoir
 	// lastSeen tracks, per sink switch, the arrival time of the newest RT
@@ -241,7 +276,7 @@ type Controller struct {
 
 	// Channel sequencing and outstanding-request state.
 	nextSeq        uint64
-	seenNotes      map[uint64]bool
+	seenNotes      map[noteKey]bool
 	collectSeqs    map[uint64]collectReq
 	refreshSeqs    map[uint64]refreshReq
 	refreshPending map[topology.NodeID]bool
@@ -269,16 +304,25 @@ func NewWithChannel(cfg Config, sim *netsim.Simulator, prog *dataplane.Program, 
 	if ch == nil {
 		ch = ctrlchan.New(sim, ctrlchan.Config{Seed: cfg.Seed})
 	}
+	return NewWithTransport(cfg, sim, prog, ch)
+}
+
+// NewWithTransport wires a controller to an arbitrary clock and transport —
+// the seam the real-process deployment mode enters through. With a
+// *netsim.Simulator clock and a *ctrlchan.Channel transport this is exactly
+// NewWithChannel; with an rtclock loop and a UDP transport the same
+// reliability machinery runs against real sockets.
+func NewWithTransport(cfg Config, clock Clock, prog *dataplane.Program, tr ctrlchan.Transport) *Controller {
 	c := &Controller{
 		Cfg:            cfg,
 		Prog:           prog,
 		Topo:           prog.Topo,
-		sim:            sim,
-		ch:             ch,
+		clock:          clock,
+		tr:             tr,
 		rng:            rand.New(rand.NewSource(cfg.Seed)),
 		reservoirs:     make(map[dataplane.FlowID]*reservoir.Reservoir),
 		lastSeen:       make(map[topology.NodeID]netsim.Time),
-		seenNotes:      make(map[uint64]bool),
+		seenNotes:      make(map[noteKey]bool),
 		collectSeqs:    make(map[uint64]collectReq),
 		refreshSeqs:    make(map[uint64]refreshReq),
 		refreshPending: make(map[topology.NodeID]bool),
@@ -296,8 +340,17 @@ func NewWithChannel(cfg Config, sim *netsim.Simulator, prog *dataplane.Program, 
 	return c
 }
 
-// Channel exposes the control channel (for fault injection and stats).
-func (c *Controller) Channel() *ctrlchan.Channel { return c.ch }
+// Channel exposes the control channel (for fault injection and stats); nil
+// when the controller runs over a non-Channel transport.
+func (c *Controller) Channel() *ctrlchan.Channel {
+	ch, _ := c.tr.(*ctrlchan.Channel)
+	return ch
+}
+
+// Deliver dispatches an inbound switch → controller message. It is the
+// handler a socket transport's read loop hands frames to; the in-simulator
+// path reaches the same dispatch through the Channel's deliver callback.
+func (c *Controller) Deliver(m ctrlchan.Message) { c.deliverToController(m) }
 
 // EdgeSwitches returns the switches with attached hosts (telemetry sinks).
 func (c *Controller) EdgeSwitches() []topology.NodeID { return c.edgeSwitches }
@@ -311,9 +364,9 @@ func (c *Controller) Start() {
 	var tick func()
 	tick = func() {
 		c.Refresh()
-		c.sim.After(c.Cfg.RefreshPeriod, tick)
+		c.clock.After(c.Cfg.RefreshPeriod, tick)
 	}
-	c.sim.After(c.Cfg.RefreshPeriod, tick)
+	c.clock.After(c.Cfg.RefreshPeriod, tick)
 }
 
 // ReservoirFor returns (creating if needed) the flow's reservoir.
@@ -363,7 +416,7 @@ func (c *Controller) armTimeout(stillPending func() bool, fn func()) {
 	if !stillPending() {
 		return
 	}
-	c.sim.After(c.Cfg.RequestTimeout, fn)
+	c.clock.After(c.Cfg.RequestTimeout, fn)
 }
 
 // --- Switch-side agent ----------------------------------------------------
@@ -381,7 +434,7 @@ func (c *Controller) deliverToSwitch(m ctrlchan.Message) {
 		recs := c.Prog.RTSnapshot(m.Switch)
 		wire := int64(len(recs)) * c.recordBytes()
 		c.Bytes.CollectionBytes += wire
-		c.ch.Send(ctrlchan.ToController, ctrlchan.Message{
+		c.tr.Send(ctrlchan.ToController, ctrlchan.Message{
 			Kind: ctrlchan.KindCollectResponse, Seq: m.Seq, Switch: m.Switch,
 			Records: recs, Wire: wire,
 		}, c.deliverToController)
@@ -397,7 +450,7 @@ func (c *Controller) deliverToSwitch(m ctrlchan.Message) {
 			}
 		}
 		c.Bytes.RefreshBytes += int64(len(recs)) * 8
-		c.ch.Send(ctrlchan.ToController, ctrlchan.Message{
+		c.tr.Send(ctrlchan.ToController, ctrlchan.Message{
 			Kind: ctrlchan.KindRefreshResponse, Seq: m.Seq, Switch: m.Switch,
 			Records: recs, Wire: int64(len(recs)) * 8,
 		}, c.deliverToController)
@@ -405,7 +458,7 @@ func (c *Controller) deliverToSwitch(m ctrlchan.Message) {
 	case ctrlchan.KindThresholdPush:
 		c.Prog.SetThreshold(m.Switch, m.Flow, m.Threshold)
 		c.Bytes.AckBytes += ctrlchan.AckBytes
-		c.ch.Send(ctrlchan.ToController, ctrlchan.Message{
+		c.tr.Send(ctrlchan.ToController, ctrlchan.Message{
 			Kind: ctrlchan.KindThresholdAck, Seq: m.Seq, Switch: m.Switch,
 			Flow: m.Flow, Threshold: m.Threshold, Wire: ctrlchan.AckBytes,
 		}, c.deliverToController)
@@ -449,7 +502,7 @@ func (c *Controller) sendRefresh(sw topology.NodeID, attempt int) {
 	seq := c.seq()
 	c.refreshSeqs[seq] = refreshReq{sw: sw, attempt: attempt}
 	c.Bytes.RequestBytes += ctrlchan.RefreshRequestBytes
-	c.ch.Send(ctrlchan.ToSwitch, ctrlchan.Message{
+	c.tr.Send(ctrlchan.ToSwitch, ctrlchan.Message{
 		Kind: ctrlchan.KindRefreshRequest, Seq: seq, Switch: sw,
 		Watermark: c.lastSeen[sw], Wire: ctrlchan.RefreshRequestBytes,
 	}, c.deliverToSwitch)
@@ -469,7 +522,7 @@ func (c *Controller) refreshTimeout(seq uint64) {
 	delete(c.refreshSeqs, seq)
 	if req.attempt < c.Cfg.MaxRetries {
 		c.Bytes.Retries++
-		c.sim.After(c.backoff(req.attempt+1), func() {
+		c.clock.After(c.backoff(req.attempt+1), func() {
 			c.sendRefresh(req.sw, req.attempt+1)
 		})
 		return
@@ -542,7 +595,7 @@ func (c *Controller) sendPush(k pushKey, ps *pushState) {
 	ps.seq = seq
 	c.pushSeqs[seq] = k
 	c.Bytes.ThresholdPushBytes += dataplane.ThresholdPushBytes
-	c.ch.Send(ctrlchan.ToSwitch, ctrlchan.Message{
+	c.tr.Send(ctrlchan.ToSwitch, ctrlchan.Message{
 		Kind: ctrlchan.KindThresholdPush, Seq: seq, Switch: k.sw,
 		Flow: k.flow, Threshold: ps.want, Wire: dataplane.ThresholdPushBytes,
 	}, c.deliverToSwitch)
@@ -568,7 +621,7 @@ func (c *Controller) pushTimeout(seq uint64) {
 	if ps.attempts < c.Cfg.MaxRetries {
 		ps.attempts++
 		c.Bytes.Retries++
-		c.sim.After(c.backoff(ps.attempts), func() {
+		c.clock.After(c.backoff(ps.attempts), func() {
 			if !ps.inFlight && !(ps.haveConfirmed && ps.confirmed == ps.want) {
 				c.sendPush(k, ps)
 			}
@@ -607,7 +660,7 @@ func (c *Controller) onThresholdAck(m ctrlchan.Message) {
 // it.
 func (c *Controller) Notify(n dataplane.Notification) {
 	c.Bytes.NotificationBytes += dataplane.NotificationBytes
-	c.ch.Send(ctrlchan.ToController, ctrlchan.Message{
+	c.tr.Send(ctrlchan.ToController, ctrlchan.Message{
 		Kind: ctrlchan.KindNotification, Seq: c.seq(), Switch: n.Switch,
 		Note: n, Wire: dataplane.NotificationBytes,
 	}, c.deliverToController)
@@ -617,19 +670,20 @@ func (c *Controller) Notify(n dataplane.Notification) {
 // A notification inside the window is not dropped: the newest one is
 // retained and fires a diagnosis the moment the window reopens.
 func (c *Controller) onNotification(m ctrlchan.Message) {
-	if c.seenNotes[m.Seq] {
+	k := noteKey{sw: m.Switch, seq: m.Seq}
+	if c.seenNotes[k] {
 		c.Bytes.DuplicateNotifications++
 		return
 	}
-	c.seenNotes[m.Seq] = true
-	now := c.sim.Now()
+	c.seenNotes[k] = true
+	now := c.clock.Now()
 	if c.haveDiagnosed && now-c.lastDiagnosis < c.Cfg.ResponseWindow {
 		c.Bytes.SuppressedNotifications++
 		n := m.Note
 		c.suppressed = &n
 		if !c.flushScheduled {
 			c.flushScheduled = true
-			c.sim.At(c.lastDiagnosis+c.Cfg.ResponseWindow, c.flushSuppressed)
+			c.clock.At(c.lastDiagnosis+c.Cfg.ResponseWindow, c.flushSuppressed)
 		}
 		return
 	}
@@ -644,10 +698,10 @@ func (c *Controller) flushSuppressed() {
 	if c.suppressed == nil {
 		return
 	}
-	now := c.sim.Now()
+	now := c.clock.Now()
 	if c.haveDiagnosed && now-c.lastDiagnosis < c.Cfg.ResponseWindow {
 		c.flushScheduled = true
-		c.sim.At(c.lastDiagnosis+c.Cfg.ResponseWindow, c.flushSuppressed)
+		c.clock.At(c.lastDiagnosis+c.Cfg.ResponseWindow, c.flushSuppressed)
 		return
 	}
 	n := *c.suppressed
@@ -658,7 +712,7 @@ func (c *Controller) flushSuppressed() {
 // beginDiagnosis opens a response window and starts the collection.
 func (c *Controller) beginDiagnosis(n dataplane.Notification) {
 	c.haveDiagnosed = true
-	c.lastDiagnosis = c.sim.Now()
+	c.lastDiagnosis = c.clock.Now()
 	c.suppressed = nil
 	c.startCollection(n)
 }
@@ -694,9 +748,9 @@ func (c *Controller) sendCollect(col *collection, sw topology.NodeID, attempt in
 	seq := c.seq()
 	c.collectSeqs[seq] = collectReq{col: col, sw: sw, attempt: attempt}
 	c.Bytes.RequestBytes += ctrlchan.CollectRequestBytes
-	c.ch.Send(ctrlchan.ToSwitch, ctrlchan.Message{
+	c.tr.Send(ctrlchan.ToSwitch, ctrlchan.Message{
 		Kind: ctrlchan.KindCollectRequest, Seq: seq, Switch: sw,
-		Wire: ctrlchan.CollectRequestBytes,
+		Note: col.trigger, Wire: ctrlchan.CollectRequestBytes,
 	}, c.deliverToSwitch)
 	c.armTimeout(
 		func() bool { _, ok := c.collectSeqs[seq]; return ok },
@@ -717,7 +771,7 @@ func (c *Controller) collectTimeout(seq uint64) {
 	}
 	if req.attempt < c.Cfg.MaxRetries {
 		c.Bytes.Retries++
-		c.sim.After(c.backoff(req.attempt+1), func() {
+		c.clock.After(c.backoff(req.attempt+1), func() {
 			c.sendCollect(col, req.sw, req.attempt+1)
 		})
 		return
@@ -742,6 +796,9 @@ func (c *Controller) onCollectResponse(m ctrlchan.Message) {
 	}
 	delete(col.pending, req.sw)
 	col.records = append(col.records, m.Records...)
+	if m.Stamp > col.asOf {
+		col.asOf = m.Stamp
+	}
 	if len(col.pending) == 0 {
 		c.finalizeCollection(col)
 	}
@@ -773,7 +830,8 @@ func (c *Controller) finalizeCollection(col *collection) {
 		c.OnDiagnosis(Diagnosis{
 			Trigger:          col.trigger,
 			Records:          records,
-			Time:             c.sim.Now(),
+			Time:             c.clock.Now(),
+			AsOf:             col.asOf,
 			Requested:        col.requested,
 			MissingSinks:     col.missing,
 			RecordConfidence: conf,

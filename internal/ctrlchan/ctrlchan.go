@@ -124,6 +124,12 @@ type Message struct {
 	// Wire is the message's size on the channel in bytes (set by the
 	// sender; the Channel only accounts it).
 	Wire int64
+	// Stamp is the sender's clock at snapshot time on collect/refresh
+	// responses. The in-simulator path leaves it zero (collection there is
+	// synchronous); the real-socket deployment mode sets it so the
+	// controller can anchor record-recency analysis to the data's own
+	// timeline rather than the wall clock.
+	Stamp netsim.Time
 }
 
 // DirConfig is the fault model of one channel direction.

@@ -1,0 +1,188 @@
+package ctrlchan
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/topology"
+)
+
+// udpPair binds two loopback sockets wired at each other: a "controller"
+// end and a "switch" end hosting the given switch IDs.
+func udpPair(t *testing.T, loss float64, maxFrag int, sws ...topology.NodeID) (ctrl, sw *UDPTransport, ctrlRx, swRx *msgSink) {
+	t.Helper()
+	ctrlConn := bindLoopback(t)
+	swConn := bindLoopback(t)
+	swAddr := swConn.LocalAddr().(*net.UDPAddr)
+	ctrlAddr := ctrlConn.LocalAddr().(*net.UDPAddr)
+
+	switches := make(map[topology.NodeID]*net.UDPAddr)
+	for _, id := range sws {
+		switches[id] = swAddr
+	}
+	ctrlRx, swRx = &msgSink{}, &msgSink{}
+	ctrl = NewUDP(ctrlConn, UDPConfig{Switches: switches, LossProb: loss, Seed: 7, MaxFragment: maxFrag}, ctrlRx.take)
+	sw = NewUDP(swConn, UDPConfig{Controller: ctrlAddr, LossProb: loss, Seed: 8, MaxFragment: maxFrag}, swRx.take)
+	t.Cleanup(func() { ctrl.Close(); sw.Close() })
+	return ctrl, sw, ctrlRx, swRx
+}
+
+func bindLoopback(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("bind loopback: %v", err)
+	}
+	return conn
+}
+
+// msgSink collects delivered messages across goroutines.
+type msgSink struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (s *msgSink) take(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgs = append(s.msgs, m)
+}
+
+func (s *msgSink) wait(t *testing.T, n int) []Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //mars:wallclock test deadline
+	for {
+		s.mu.Lock()
+		got := append([]Message(nil), s.msgs...)
+		s.mu.Unlock()
+		if len(got) >= n {
+			return got
+		}
+		if time.Now().After(deadline) { //mars:wallclock test deadline
+			t.Fatalf("timed out waiting for %d messages, have %d", n, len(got))
+		}
+		time.Sleep(time.Millisecond) //mars:wallclock test polling
+	}
+}
+
+func TestUDPRoundTripBothDirections(t *testing.T) {
+	ctrl, sw, ctrlRx, swRx := udpPair(t, 0, 0, 3)
+
+	req := Message{Kind: KindCollectRequest, Seq: 9, Switch: 3,
+		Note: dataplane.Notification{Kind: dataplane.NotifyDrop, Switch: 3,
+			Flow: dataplane.FlowID{Src: 1, Sink: 3}, Time: netsim.Second, Dropped: 4},
+		Wire: CollectRequestBytes}
+	ctrl.Send(ToSwitch, req, nil)
+	got := swRx.wait(t, 1)
+	if !reflect.DeepEqual(got[0], req) {
+		t.Fatalf("switch received %+v, want %+v", got[0], req)
+	}
+
+	resp := Message{Kind: KindCollectResponse, Seq: 9, Switch: 3,
+		Stamp: 2 * netsim.Second,
+		Records: []dataplane.RTRecord{{Flow: dataplane.FlowID{Src: 1, Sink: 3},
+			Epoch: 12, Latency: 300 * netsim.Microsecond, Arrival: netsim.Second}},
+		Wire: dataplane.RTRecordBytes}
+	sw.Send(ToController, resp, nil)
+	back := ctrlRx.wait(t, 1)
+	if !reflect.DeepEqual(back[0], resp) {
+		t.Fatalf("controller received %+v, want %+v", back[0], resp)
+	}
+}
+
+// TestUDPFragmentation forces a response across many fragments and checks
+// it reassembles exactly.
+func TestUDPFragmentation(t *testing.T) {
+	_, sw, ctrlRx, _ := udpPair(t, 0, 128, 3)
+
+	recs := make([]dataplane.RTRecord, 200) // 200×60 B ≫ 128 B fragments
+	for i := range recs {
+		recs[i] = dataplane.RTRecord{
+			Flow:  dataplane.FlowID{Src: topology.NodeID(i), Sink: 3},
+			Epoch: uint32(i), Latency: netsim.Time(i) * netsim.Microsecond,
+			Arrival: netsim.Time(i) * netsim.Millisecond,
+		}
+	}
+	resp := Message{Kind: KindCollectResponse, Seq: 1, Switch: 3, Records: recs}
+	sw.Send(ToController, resp, nil)
+	got := ctrlRx.wait(t, 1)
+	if !reflect.DeepEqual(got[0], resp) {
+		t.Fatal("fragmented frame did not reassemble to the original message")
+	}
+	if sw.Stats().FragmentsSent.Load() < 10 {
+		t.Fatalf("expected many fragments, sent %d", sw.Stats().FragmentsSent.Load())
+	}
+}
+
+// TestUDPInjectedLoss drops fragments with high probability and verifies
+// frames actually go missing (the retry machinery's food) while repeated
+// sends still get some through.
+func TestUDPInjectedLoss(t *testing.T) {
+	ctrl, _, _, swRx := udpPair(t, 0.5, 0, 3)
+
+	const sends = 60
+	for i := 0; i < sends; i++ {
+		ctrl.Send(ToSwitch, Message{Kind: KindRefreshRequest, Seq: uint64(i + 1),
+			Switch: 3, Wire: RefreshRequestBytes}, nil)
+	}
+	time.Sleep(300 * time.Millisecond) //mars:wallclock allow in-flight datagrams to land
+	swRx.mu.Lock()
+	got := len(swRx.msgs)
+	swRx.mu.Unlock()
+	if got == 0 {
+		t.Fatal("all frames lost: loss injection should be probabilistic, not total")
+	}
+	if got == sends {
+		t.Fatal("no frames lost despite 50% injected fragment loss")
+	}
+	if ctrl.Stats().InjectedDrops.Load() == 0 {
+		t.Fatal("loss injection recorded no drops")
+	}
+}
+
+// TestUDPGarbageTolerance feeds raw garbage datagrams at a transport; the
+// read loop must survive and keep delivering valid frames.
+func TestUDPGarbageTolerance(t *testing.T) {
+	ctrl, sw, ctrlRx, _ := udpPair(t, 0, 0, 3)
+	ctrlAddr := ctrl.conn.LocalAddr().(*net.UDPAddr)
+
+	attacker := bindLoopback(t)
+	defer attacker.Close()
+	for _, pkt := range [][]byte{
+		{},
+		{0xFF},
+		{0x4D, 0x46, 0, 0, 0, 1, 0, 9, 0, 2}, // index >= count
+		{0x4D, 0x46, 0, 0, 0, 2, 0, 0, 0, 0}, // zero count
+		{0x4D, 0x46, 0, 0, 0, 3, 0, 0, 0, 1, 0xAB}, // valid fragment, garbage frame
+	} {
+		if len(pkt) > 0 {
+			attacker.WriteToUDP(pkt, ctrlAddr)
+		}
+	}
+
+	resp := Message{Kind: KindThresholdAck, Seq: 4, Switch: 3,
+		Flow: dataplane.FlowID{Src: 1, Sink: 3}, Threshold: netsim.Millisecond, Wire: AckBytes}
+	sw.Send(ToController, resp, nil)
+	got := ctrlRx.wait(t, 1)
+	if !reflect.DeepEqual(got[0], resp) {
+		t.Fatalf("valid frame lost after garbage: got %+v", got[0])
+	}
+}
+
+// TestUDPUnroutableSwitchDropsSilently sends to a switch with no portmap
+// entry: the frame must vanish without error (retries own recovery).
+func TestUDPUnroutableSwitchDropsSilently(t *testing.T) {
+	ctrl, _, _, swRx := udpPair(t, 0, 0, 3)
+	ctrl.Send(ToSwitch, Message{Kind: KindRefreshRequest, Seq: 1, Switch: 99}, nil)
+	ctrl.Send(ToSwitch, Message{Kind: KindRefreshRequest, Seq: 2, Switch: 3,
+		Wire: RefreshRequestBytes}, nil)
+	got := swRx.wait(t, 1)
+	if got[0].Switch != 3 {
+		t.Fatalf("delivered to %d, want 3", got[0].Switch)
+	}
+}

@@ -1,0 +1,184 @@
+package deploy
+
+import (
+	"net"
+
+	"mars/internal/controlplane"
+	"mars/internal/ctrlchan"
+	"mars/internal/dataplane"
+	"mars/internal/netsim"
+	"mars/internal/rca"
+	"mars/internal/rtclock"
+	"mars/internal/stream"
+	"mars/internal/topology"
+)
+
+// ControllerNode is the controller process: the unmodified
+// controlplane.Controller running on a wall-clock loop over a UDP
+// transport, feeding the same RCA analyzer the simulator uses — and,
+// optionally, the streaming diagnosis service.
+type ControllerNode struct {
+	cap  *Capture
+	loop *rtclock.Loop
+	tr   *ctrlchan.UDPTransport
+	ctrl *controlplane.Controller
+	rca  *rca.Analyzer
+
+	// currentThr holds the matched captured diagnosis's threshold map for
+	// the duration of one Analyze call (set and read on the loop goroutine).
+	currentThr map[dataplane.FlowID]netsim.Time
+
+	lists     [][]rca.Culprit
+	diagnoses []controlplane.Diagnosis
+
+	// noteSeen records the wall time each distinct trigger first reached
+	// this process; collectLat accumulates trigger→finalized-diagnosis
+	// wall latencies. Both loop-owned.
+	noteSeen   map[noteIdent]netsim.Time
+	collectLat []netsim.Time
+
+	// Stream, when non-nil, additionally ingests every collected record
+	// into the streaming diagnosis service (set before Start).
+	Stream *stream.Service
+
+	// OnDiagnosis, if set, observes each diagnosis on the loop goroutine.
+	OnDiagnosis func(controlplane.Diagnosis, []rca.Culprit)
+}
+
+// noteIdent is a trigger notification's identity across retransmissions.
+type noteIdent struct {
+	kind  dataplane.NotificationKind
+	sw    topology.NodeID
+	flow  dataplane.FlowID
+	simAt netsim.Time
+}
+
+func identOf(n dataplane.Notification) noteIdent {
+	return noteIdent{kind: n.Kind, sw: n.Switch, flow: n.Flow, simAt: n.Time}
+}
+
+// NewControllerNode binds the controller to a socket. switchAddrs maps
+// every switch ID to its hosting process.
+func NewControllerNode(cap *Capture, conn *net.UDPConn, switchAddrs map[topology.NodeID]*net.UDPAddr) *ControllerNode {
+	n := &ControllerNode{cap: cap, loop: rtclock.New(), noteSeen: make(map[noteIdent]netsim.Time)}
+	n.tr = ctrlchan.NewUDP(conn, ctrlchan.UDPConfig{
+		Switches: switchAddrs,
+		LossProb: cap.Scenario.LossProb,
+		Seed:     cap.Scenario.Seed + 200,
+	}, func(m ctrlchan.Message) {
+		n.loop.Post(func() {
+			if m.Kind == ctrlchan.KindNotification {
+				id := identOf(m.Note)
+				if _, ok := n.noteSeen[id]; !ok {
+					n.noteSeen[id] = n.loop.Now()
+				}
+			}
+			n.ctrl.Deliver(m)
+		})
+	})
+
+	cfg := ScaledControllerConfig(cap.Scenario)
+	n.ctrl = controlplane.NewWithTransport(cfg, n.loop, cap.Sys.Program, n.tr)
+
+	// RCA consults the thresholds the simulator had derived at the matched
+	// capture's moment, so abnormality classification sees the data plane's
+	// own timeline, not the wall clock's partially-warmed reservoirs.
+	n.rca = rca.New(cap.Sys.Analyzer.Cfg, cap.Sys.Paths, rca.ThresholdFunc(func(f dataplane.FlowID) netsim.Time {
+		if th, ok := n.currentThr[f]; ok {
+			return th
+		}
+		return n.ctrl.ThresholdOf(f)
+	}))
+
+	n.ctrl.OnDiagnosis = func(d controlplane.Diagnosis) {
+		// Re-anchor to the collected data's own timeline: d.Time is wall
+		// nanoseconds, but the records' arrivals (and RCA's recency
+		// window) live on the sim timeline the snapshots carry in AsOf.
+		if d.AsOf != 0 {
+			d.Time = d.AsOf
+		}
+		if m := cap.matchDiag(d.Trigger); m != nil {
+			n.currentThr = m.Thresholds
+		}
+		list := n.rca.Analyze(d)
+		n.currentThr = nil
+		if at, ok := n.noteSeen[identOf(d.Trigger)]; ok {
+			n.collectLat = append(n.collectLat, n.loop.Now()-at)
+		}
+		n.diagnoses = append(n.diagnoses, d)
+		if len(list) > 0 {
+			n.lists = append(n.lists, list)
+		}
+		if n.Stream != nil {
+			for _, r := range d.Records {
+				n.Stream.Ingest(r)
+			}
+		}
+		if n.OnDiagnosis != nil {
+			n.OnDiagnosis(d, list)
+		}
+	}
+	return n
+}
+
+// Start launches the controller's periodic refresh loop on the wall
+// clock. Call once every process is listening.
+func (n *ControllerNode) Start() { n.loop.Post(n.ctrl.Start) }
+
+// Culprits returns the merged ranked culprit list accumulated so far
+// (synchronized through the loop; callable from any goroutine).
+func (n *ControllerNode) Culprits() []rca.Culprit {
+	var out []rca.Culprit
+	n.loop.Run(func() { out = rca.MergeRanked(n.lists) })
+	return out
+}
+
+// Diagnoses returns the collected diagnoses so far.
+func (n *ControllerNode) Diagnoses() []controlplane.Diagnosis {
+	var out []controlplane.Diagnosis
+	n.loop.Run(func() { out = append(out, n.diagnoses...) })
+	return out
+}
+
+// CollectionLatencies returns the wall-clock delay from each diagnosis's
+// trigger arriving at this process to its collection finalizing — the
+// latency of a real socket round to every edge switch, including retries.
+func (n *ControllerNode) CollectionLatencies() []netsim.Time {
+	var out []netsim.Time
+	n.loop.Run(func() { out = append(out, n.collectLat...) })
+	return out
+}
+
+// FinishStream seals the attached streaming service's tail windows and
+// reports (closed windows, merged culprits). No-op (0, 0) when no
+// service is attached.
+func (n *ControllerNode) FinishStream() (windows, culprits int) {
+	n.loop.Run(func() {
+		if n.Stream == nil {
+			return
+		}
+		n.Stream.Finish()
+		windows = len(n.Stream.Results())
+		culprits = len(n.Stream.Merged())
+	})
+	return windows, culprits
+}
+
+// BandwidthStats snapshots the controller's byte accounting.
+func (n *ControllerNode) BandwidthStats() controlplane.BandwidthStats {
+	var out controlplane.BandwidthStats
+	n.loop.Run(func() { out = n.ctrl.Bytes })
+	return out
+}
+
+// SetLossProb adjusts the node transport's injected fragment loss.
+func (n *ControllerNode) SetLossProb(p float64) { n.tr.SetLossProb(p) }
+
+// Stats exposes the node's transport counters.
+func (n *ControllerNode) Stats() *ctrlchan.UDPStats { return n.tr.Stats() }
+
+// Stop tears the node down: transport first, then the loop.
+func (n *ControllerNode) Stop() {
+	n.tr.Close()
+	n.loop.Stop()
+}

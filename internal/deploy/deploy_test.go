@@ -1,0 +1,212 @@
+package deploy
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mars/internal/topology"
+)
+
+// buildOnce caches the default scenario's capture: the sim run is the
+// expensive part and is identical for every test that needs it.
+var (
+	buildMu  sync.Mutex
+	buildCap *Capture
+)
+
+func defaultCapture(t *testing.T) *Capture {
+	t.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if buildCap == nil {
+		c, err := Build(DefaultScenario())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		buildCap = c
+	}
+	return buildCap
+}
+
+// launchInProcess wires a controller node and one switch node per group
+// inside the test process — same transports, sockets, and replay logic as
+// the multi-process launcher, minus fork/exec.
+func launchInProcess(t *testing.T, c *Capture) (*ControllerNode, []*SwitchNode) {
+	t.Helper()
+	groups := GroupSwitches(c.Sys.FT, c.Scenario.Groups)
+	conns, pm, err := AllocatePorts(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swAddrs, err := pm.SwitchAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlAddr, err := pm.ControllerAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewControllerNode(c, conns[0], swAddrs)
+	var nodes []*SwitchNode
+	for i, g := range groups {
+		nodes = append(nodes, NewSwitchNode(c, g, conns[i+1], ctrlAddr))
+	}
+	t.Cleanup(func() {
+		ctrl.Stop()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	ctrl.Start()
+	for _, n := range nodes {
+		n.Start()
+	}
+	return ctrl, nodes
+}
+
+// wallDeadline is the replay duration plus a generous drain margin.
+func wallDeadline(c *Capture) time.Duration {
+	replay := time.Duration(float64(c.Scenario.RunFor) * c.Scenario.Scale)
+	return replay + 5*time.Second
+}
+
+// TestGroupSwitchesCoversAll verifies the process grouping hosts every
+// switch exactly once (threshold pushes must be routable to all of them).
+func TestGroupSwitchesCoversAll(t *testing.T) {
+	c := defaultCapture(t)
+	for _, n := range []int{1, 2, 4, 7} {
+		groups := GroupSwitches(c.Sys.FT, n)
+		seen := make(map[topology.NodeID]int)
+		for _, g := range groups {
+			for _, sw := range g {
+				seen[sw]++
+			}
+		}
+		for _, sw := range c.Sys.FT.Switches() {
+			if seen[sw] != 1 {
+				t.Fatalf("n=%d: switch %d hosted %d times", n, sw, seen[sw])
+			}
+		}
+	}
+}
+
+// TestCaptureFindsCulprit guards the ground truth: the simulated run the
+// deployment replays must itself diagnose the injected fault.
+func TestCaptureFindsCulprit(t *testing.T) {
+	c := defaultCapture(t)
+	if len(c.Expected) == 0 {
+		t.Fatal("sim run produced no culprits; the deploy comparison is vacuous")
+	}
+	if len(c.Notes) == 0 || len(c.Diags) == 0 {
+		t.Fatalf("capture incomplete: %d notes, %d diags", len(c.Notes), len(c.Diags))
+	}
+}
+
+// TestLoopbackReproducesSimTop1 is the tentpole assertion: controller and
+// switch groups on separate sockets, real UDP in between, and the
+// resulting diagnosis must agree with the simulator's top-1 culprit.
+func TestLoopbackReproducesSimTop1(t *testing.T) {
+	c := defaultCapture(t)
+	if len(c.Expected) == 0 {
+		t.Skip("sim produced no culprits")
+	}
+	ctrl, nodes := launchInProcess(t, c)
+
+	want := Top1Key(c.Expected[0])
+	deadline := time.Now().Add(wallDeadline(c)) //mars:wallclock test deadline
+	for {
+		got := ctrl.Culprits()
+		if len(got) > 0 && Top1Key(got[0]) == want {
+			break
+		}
+		if time.Now().After(deadline) { //mars:wallclock test deadline
+			if len(got) == 0 {
+				t.Fatalf("no culprits from deployment run; want top-1 %s", want)
+			}
+			t.Fatalf("deployment top-1 = %s, want %s", Top1Key(got[0]), want)
+		}
+		time.Sleep(20 * time.Millisecond) //mars:wallclock test polling
+	}
+
+	if ds := ctrl.Diagnoses(); len(ds) == 0 {
+		t.Fatal("no diagnoses collected")
+	} else {
+		for _, d := range ds {
+			if d.AsOf == 0 && len(d.Records) > 0 {
+				t.Fatal("populated deployment diagnosis lost its sim-time anchor (AsOf=0)")
+			}
+		}
+	}
+	var sent int
+	for _, n := range nodes {
+		notes, _ := n.Counts()
+		sent += notes
+	}
+	if sent == 0 {
+		t.Fatal("no notifications replayed")
+	}
+	if ctrl.Stats().FramesReceived.Load() == 0 {
+		t.Fatal("controller transport saw no frames: the exchange did not cross sockets")
+	}
+}
+
+// TestLoopbackRetriesUnderInjectedLoss drops a quarter of all fragments
+// at every transport and checks the controller's retry machinery carries
+// the diagnosis anyway.
+func TestLoopbackRetriesUnderInjectedLoss(t *testing.T) {
+	base := defaultCapture(t)
+	lossy := *base
+	lossy.Scenario.LossProb = 0.25
+	ctrl, _ := launchInProcess(t, &lossy)
+
+	deadline := time.Now().Add(wallDeadline(&lossy)) //mars:wallclock test deadline
+	for {
+		if len(ctrl.Diagnoses()) > 0 && ctrl.BandwidthStats().Retries > 0 {
+			break
+		}
+		if time.Now().After(deadline) { //mars:wallclock test deadline
+			t.Fatalf("under 25%% fragment loss: %d diagnoses, %d retries (want both > 0)",
+				len(ctrl.Diagnoses()), ctrl.BandwidthStats().Retries)
+		}
+		time.Sleep(20 * time.Millisecond) //mars:wallclock test polling
+	}
+	if ctrl.Stats().InjectedDrops.Load() == 0 {
+		t.Fatal("loss injection never dropped a fragment")
+	}
+}
+
+// TestPortMapRoundTrip checks the JSON discovery file survives a write /
+// read / resolve cycle.
+func TestPortMapRoundTrip(t *testing.T) {
+	pm := &PortMap{
+		Controller: "127.0.0.1:7000",
+		Groups: []PortGroup{
+			{Addr: "127.0.0.1:7001", Switches: []topology.NodeID{1, 2, 3}},
+			{Addr: "127.0.0.1:7002", Switches: []topology.NodeID{4, 5}},
+		},
+	}
+	path := t.TempDir() + "/portmap.json"
+	if err := pm.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPortMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := got.SwitchAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 5 {
+		t.Fatalf("resolved %d switch addrs, want 5", len(addrs))
+	}
+	if addrs[4].Port != 7002 {
+		t.Fatalf("switch 4 routed to port %d, want 7002", addrs[4].Port)
+	}
+	if _, err := got.ControllerAddr(); err != nil {
+		t.Fatal(err)
+	}
+	var _ *net.UDPAddr = addrs[1]
+}

@@ -1,0 +1,141 @@
+package deploy
+
+import (
+	"sort"
+	"time"
+
+	"mars/internal/controlplane"
+	"mars/internal/netsim"
+	"mars/internal/rca"
+)
+
+// LoopbackResult summarizes one complete loopback deployment run.
+type LoopbackResult struct {
+	// Expected is the simulator's merged culprit ranking; Got the
+	// deployment's. Top1Match is the run's verdict.
+	Expected  []rca.Culprit
+	Got       []rca.Culprit
+	Top1Match bool
+	// Diagnoses counts finalized collections; NotesSent replayed
+	// notifications across all switch nodes.
+	Diagnoses int
+	NotesSent int
+	// WallSeconds is the wall-clock duration of the live phase.
+	WallSeconds float64
+	// CollectLatencies are per-diagnosis trigger→finalize wall latencies.
+	CollectLatencies []netsim.Time
+	// Bytes is the controller's control-channel accounting.
+	Bytes controlplane.BandwidthStats
+}
+
+// MeanCollectMs returns the mean collection latency in milliseconds (0
+// when no diagnosis completed).
+func (r *LoopbackResult) MeanCollectMs() float64 { return latMs(r.CollectLatencies, 0.0) }
+
+// P95CollectMs returns the 95th-percentile collection latency in
+// milliseconds.
+func (r *LoopbackResult) P95CollectMs() float64 { return latMs(r.CollectLatencies, 0.95) }
+
+// latMs reduces latencies to the mean (q=0) or the q-quantile, in ms.
+func latMs(lats []netsim.Time, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	if q == 0 {
+		var sum netsim.Time
+		for _, l := range lats {
+			sum += l
+		}
+		return float64(sum) / float64(len(lats)) / 1e6
+	}
+	s := append([]netsim.Time(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return float64(s[idx]) / 1e6
+}
+
+// DiagnosesPerSec is the deployment's sustained diagnosis rate.
+func (r *LoopbackResult) DiagnosesPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Diagnoses) / r.WallSeconds
+}
+
+// ReplayDuration is the wall-clock length of a scenario's live phase.
+func ReplayDuration(sc Scenario) time.Duration {
+	return time.Duration(float64(sc.RunFor) * sc.Scale)
+}
+
+// WaitSettled blocks until in-flight collections drain: the diagnosis
+// count must hold stable across two consecutive polls, bounded by a
+// fixed margin. Call it after the replay phase has elapsed.
+func WaitSettled(ctrl *ControllerNode) {
+	stableFor, last := 0, -1
+	for i := 0; i < 20 && stableFor < 2; i++ {
+		time.Sleep(100 * time.Millisecond) //mars:wallclock drain polling
+		n := len(ctrl.Diagnoses())
+		if n == last {
+			stableFor++
+		} else {
+			stableFor, last = 0, n
+		}
+	}
+}
+
+// RunLoopback executes a complete deployment run inside one process:
+// controller node plus one switch node per group, each on its own
+// loopback UDP socket, replaying the capture in scaled real time. It
+// blocks for the whole live phase (Scenario.RunFor × Scale plus drain)
+// and tears everything down before returning.
+func RunLoopback(c *Capture) (*LoopbackResult, error) {
+	groups := GroupSwitches(c.Sys.FT, c.Scenario.Groups)
+	conns, pm, err := AllocatePorts(groups)
+	if err != nil {
+		return nil, err
+	}
+	swAddrs, err := pm.SwitchAddrs()
+	if err != nil {
+		return nil, err
+	}
+	ctrlAddr, err := pm.ControllerAddr()
+	if err != nil {
+		return nil, err
+	}
+	ctrl := NewControllerNode(c, conns[0], swAddrs)
+	var nodes []*SwitchNode
+	for i, g := range groups {
+		nodes = append(nodes, NewSwitchNode(c, g, conns[i+1], ctrlAddr))
+	}
+	defer func() {
+		ctrl.Stop()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	start := time.Now() //mars:wallclock the deployment's live phase is wall-clock by nature
+	ctrl.Start()
+	for _, n := range nodes {
+		n.Start()
+	}
+	time.Sleep(ReplayDuration(c.Scenario)) //mars:wallclock live replay phase
+	WaitSettled(ctrl)
+	wall := time.Since(start).Seconds() //mars:wallclock the deployment's live phase is wall-clock by nature
+
+	res := &LoopbackResult{
+		Expected:         c.Expected,
+		Got:              ctrl.Culprits(),
+		Diagnoses:        len(ctrl.Diagnoses()),
+		WallSeconds:      wall,
+		CollectLatencies: ctrl.CollectionLatencies(),
+		Bytes:            ctrl.BandwidthStats(),
+	}
+	for _, n := range nodes {
+		notes, _ := n.Counts()
+		res.NotesSent += notes
+	}
+	res.Top1Match = len(res.Expected) > 0 && len(res.Got) > 0 &&
+		Top1Key(res.Expected[0]) == Top1Key(res.Got[0])
+	return res, nil
+}

@@ -1,0 +1,33 @@
+package deploy
+
+import "mars/internal/experiments"
+
+// PerfSection builds the scenario's capture, runs one loopback
+// deployment, and reduces it to the BENCH_perf.json "deploy" tier
+// (wall-clock collection latency and diagnosis rate). It lives here
+// rather than on experiments.PerfResult because deployment mode sits
+// above the root mars package in the import graph.
+func PerfSection(sc Scenario) (*experiments.DeployPerf, error) {
+	c, err := Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunLoopback(c)
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.DeployPerf{
+		K:             sc.K,
+		Groups:        sc.Groups,
+		Scale:         sc.Scale,
+		Fault:         sc.Fault,
+		Diagnoses:     res.Diagnoses,
+		NotesReplayed: res.NotesSent,
+		Top1Match:     res.Top1Match,
+		WallSeconds:   res.WallSeconds,
+		CollectMeanMs: res.MeanCollectMs(),
+		CollectP95Ms:  res.P95CollectMs(),
+		DiagPerSec:    res.DiagnosesPerSec(),
+		Retries:       res.Bytes.Retries,
+	}, nil
+}

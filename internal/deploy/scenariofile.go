@@ -1,0 +1,30 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteFile serializes the scenario as JSON — the launcher writes it once
+// and every node process re-derives the identical capture from it.
+func (s Scenario) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("deploy: encoding scenario: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadScenario loads a scenario JSON file.
+func ReadScenario(path string) (Scenario, error) {
+	var s Scenario
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("deploy: reading scenario: %w", err)
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("deploy: parsing scenario %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -79,6 +79,32 @@ type StreamPerf struct {
 	DiagPerSec    float64 `json:"diagnoses_per_sec"`
 }
 
+// DeployPerf is the real-process deployment tier's baseline: one full
+// loopback run (controller + switch-group nodes on separate UDP sockets
+// inside this process — the same transports and replay machinery
+// cmd/mars-node forks into real processes). Wall-clock figures are
+// machine-dependent; Top1Match is not and must stay true.
+type DeployPerf struct {
+	K      int     `json:"k"`
+	Groups int     `json:"groups"`
+	Scale  float64 `json:"scale"`
+	Fault  string  `json:"fault"`
+	// Diagnoses counts finalized socket collections; NotesReplayed the
+	// notifications the switch nodes put on the wire.
+	Diagnoses     int  `json:"diagnoses"`
+	NotesReplayed int  `json:"notes_replayed"`
+	Top1Match     bool `json:"top1_match"`
+	// WallSeconds covers the live phase (replay + drain).
+	WallSeconds float64 `json:"wall_seconds"`
+	// CollectMeanMs / CollectP95Ms are wall-clock trigger→diagnosis
+	// collection latencies over real sockets.
+	CollectMeanMs float64 `json:"collect_mean_ms"`
+	CollectP95Ms  float64 `json:"collect_p95_ms"`
+	DiagPerSec    float64 `json:"diagnoses_per_sec"`
+	// Retries counts control-channel retransmissions the run needed.
+	Retries int64 `json:"retries"`
+}
+
 // PerfResult is the full sweep, JSON-serializable for BENCH_perf.json.
 type PerfResult struct {
 	// Note flags the machine sensitivity for anyone diffing baselines.
@@ -88,6 +114,7 @@ type PerfResult struct {
 	Rows   []PerfRow   `json:"rows"`
 	Scale  *ScalePerf  `json:"scale,omitempty"`
 	Stream *StreamPerf `json:"stream,omitempty"`
+	Deploy *DeployPerf `json:"deploy,omitempty"`
 }
 
 // RunPerf measures with default engine options.
@@ -216,6 +243,11 @@ func (r *PerfResult) Render() string {
 	if s := r.Stream; s != nil {
 		fmt.Fprintf(&b, "stream: k=%d shards=%d records=%d wall=%.2fs records/s=%.0f diagnoses/s=%.0f detection=%.0fms\n",
 			s.K, s.Shards, s.Records, s.WallSeconds, s.RecordsPerSec, s.DiagPerSec, s.DetectionMs)
+	}
+	if s := r.Deploy; s != nil {
+		fmt.Fprintf(&b, "deploy: k=%d groups=%d scale=%.2f diagnoses=%d match=%v wall=%.2fs collect_mean=%.1fms p95=%.1fms diagnoses/s=%.1f\n",
+			s.K, s.Groups, s.Scale, s.Diagnoses, s.Top1Match, s.WallSeconds,
+			s.CollectMeanMs, s.CollectP95Ms, s.DiagPerSec)
 	}
 	return b.String()
 }

@@ -1,0 +1,140 @@
+// Package rtclock is the wall-clock implementation of the controller's
+// Clock seam (controlplane.Clock) for the real-process deployment mode.
+//
+// The controller is single-threaded discrete-event code: every callback
+// assumes nothing else touches controller state concurrently. The
+// simulator guarantees that by construction; rtclock preserves it in real
+// time with a run Loop — one goroutine owns all controller state and
+// executes posted functions strictly serially. Timers (After/At) fire on
+// Go runtime timer goroutines but only *post* back to the loop, so the
+// single-threaded discipline survives the move to wall time.
+//
+// Time values are nanoseconds since the loop started (netsim.Time is an
+// int64 nanosecond count, so the unit algebra is shared with the
+// simulator). These values live on the wall-clock timeline and are never
+// comparable with simulated data-plane timestamps; the controller keeps
+// the two apart via Diagnosis.AsOf.
+package rtclock
+
+import (
+	"sync"
+	"time"
+
+	"mars/internal/netsim"
+)
+
+// Loop is a serialized wall-clock run queue implementing
+// controlplane.Clock. The zero value is not usable; call New.
+type Loop struct {
+	start time.Time
+
+	mu      sync.Mutex
+	queue   []func()
+	wake    chan struct{}
+	stopped bool
+	done    chan struct{}
+}
+
+// New starts a loop; its goroutine runs until Stop.
+func New() *Loop {
+	l := &Loop{
+		start: time.Now(), //mars:wallclock deployment-mode clock epoch; never used in simulation
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	//mars:sync the loop goroutine is the node's only executor: every Post/After callback runs serialized on it, so scheduling cannot reorder observable state; deployment mode is wall-clock by design and outside the seeded digest surface
+	go l.run()
+	return l
+}
+
+// Now returns nanoseconds since the loop started.
+func (l *Loop) Now() netsim.Time {
+	return netsim.Time(time.Since(l.start)) //mars:wallclock deployment-mode clock readout; never used in simulation
+}
+
+// Post enqueues fn for serialized execution on the loop goroutine. Posts
+// after Stop are discarded.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.queue = append(l.queue, fn)
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// After runs fn on the loop goroutine once d has elapsed (immediately
+// posted for non-positive d).
+func (l *Loop) After(d netsim.Time, fn func()) {
+	if d <= 0 {
+		l.Post(fn)
+		return
+	}
+	time.AfterFunc(time.Duration(d), func() { l.Post(fn) }) //mars:wallclock rtclock is the deployment-mode wall clock; the simulator implements the same Clock seam for all seeded runs
+}
+
+// At runs fn at absolute loop time t (immediately if t has passed).
+func (l *Loop) At(t netsim.Time, fn func()) {
+	l.After(t-l.Now(), fn)
+}
+
+// Stop halts the loop after the currently queued work drains. It blocks
+// until the loop goroutine exits; timers that fire later post into the
+// void. Stop is idempotent.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.stopped = true
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	<-l.done
+}
+
+// Run executes fn on the loop goroutine and blocks until it returns —
+// the synchronous window deployment code uses to read controller state.
+func (l *Loop) Run(fn func()) {
+	ch := make(chan struct{})
+	l.Post(func() {
+		fn()
+		close(ch)
+	})
+	select {
+	case <-ch:
+	case <-l.done:
+	}
+}
+
+// run is the loop goroutine: drain the queue, sleep until woken, exit
+// once stopped and drained.
+func (l *Loop) run() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		batch := l.queue
+		l.queue = nil
+		stopped := l.stopped
+		l.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+		if len(batch) > 0 {
+			continue // re-check for work queued while running the batch
+		}
+		if stopped {
+			return
+		}
+		<-l.wake
+	}
+}

@@ -1,0 +1,78 @@
+package rtclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mars/internal/controlplane"
+	"mars/internal/netsim"
+)
+
+var _ controlplane.Clock = (*Loop)(nil)
+
+// TestSerialized proves posted functions never run concurrently: many
+// goroutines post increments of an unsynchronized counter; -race plus the
+// final count catch any overlap.
+func TestSerialized(t *testing.T) {
+	l := New()
+	const posters, each = 8, 200
+	var n int // unsynchronized on purpose: the loop is the serializer
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Post(func() { n++ })
+			}
+		}()
+	}
+	wg.Wait()
+	l.Stop()
+	if n != posters*each {
+		t.Fatalf("counter = %d, want %d", n, posters*each)
+	}
+}
+
+func TestAfterOrderingAndNow(t *testing.T) {
+	l := New()
+	defer l.Stop()
+	var order []int
+	done := make(chan struct{})
+	l.After(20*netsim.Millisecond, func() {
+		order = append(order, 2)
+		close(done)
+	})
+	l.After(netsim.Millisecond, func() { order = append(order, 1) })
+	l.Post(func() { order = append(order, 0) })
+	<-done
+	var got []int
+	l.Run(func() { got = append(got, order...) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", got)
+	}
+	if l.Now() <= 0 {
+		t.Fatalf("Now() = %v, want > 0", l.Now())
+	}
+}
+
+func TestAtPastRunsImmediately(t *testing.T) {
+	l := New()
+	defer l.Stop()
+	ran := make(chan struct{})
+	l.At(0, func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("At(past) never ran")
+	}
+}
+
+func TestStopIdempotentAndDiscardsLatePosts(t *testing.T) {
+	l := New()
+	l.Stop()
+	l.Stop()
+	l.Post(func() { t.Error("post after stop ran") })
+	time.Sleep(10 * time.Millisecond) //mars:wallclock test grace period for a callback that must NOT fire
+}
